@@ -1,0 +1,173 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation: each
+// runs the corresponding experiment end to end (dataset generation is
+// cached across iterations) and, under -v, logs the rendered rows —
+// the same rows the paper's plot reports.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig3 -v        # include the rendered figure
+//
+// Use cmd/hetexp for the plain-text reports without the benchmark
+// machinery.
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchOpts is the shared experiment configuration for benchmarks.
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 42, Repeats: 3}
+}
+
+// logRender logs the rendered experiment output once per benchmark.
+func logRender(b *testing.B, render func(io.Writer)) {
+	b.Helper()
+	var sb strings.Builder
+	render(&sb)
+	b.Log("\n" + sb.String())
+}
+
+// BenchmarkFig1DenseMM regenerates Fig. 1: the dense matrix
+// multiplication motivation study over mat.1k … mat.8k.
+func BenchmarkFig1DenseMM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logRender(b, r.Render)
+		}
+	}
+}
+
+// BenchmarkTable1Summary regenerates Table I: the aggregate threshold
+// difference, time difference and overhead of all three case studies.
+func BenchmarkTable1Summary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logRender(b, r.Render)
+		}
+	}
+}
+
+// BenchmarkTable2Datasets regenerates Table II: the dataset registry
+// with paper and replica sizes.
+func BenchmarkTable2Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logRender(b, r.Render)
+		}
+	}
+}
+
+// BenchmarkFig3CCThreshold regenerates Fig. 3(a)+(b): CC thresholds and
+// times across all Table II graphs.
+func BenchmarkFig3CCThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logRender(b, r.Render)
+		}
+	}
+}
+
+// BenchmarkFig4CCSensitivity regenerates Fig. 4: CC total time over the
+// √n/4 … 4√n sample-size ladder.
+func BenchmarkFig4CCSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logRender(b, r.Render)
+		}
+	}
+}
+
+// BenchmarkFig5SpMMSplit regenerates Fig. 5(a)+(b): SpMM split
+// percentages and times across all Table II matrices.
+func BenchmarkFig5SpMMSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logRender(b, r.Render)
+		}
+	}
+}
+
+// BenchmarkFig6SpMMSensitivity regenerates Fig. 6: SpMM total time over
+// the n/10 … 4n/10 sample-size ladder.
+func BenchmarkFig6SpMMSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logRender(b, r.Render)
+		}
+	}
+}
+
+// BenchmarkFig7Randomness regenerates Fig. 7: random vs predetermined
+// samples on cant and cop20k_A.
+func BenchmarkFig7Randomness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logRender(b, r.Render)
+		}
+	}
+}
+
+// BenchmarkFig8ScaleFree regenerates Fig. 8(a)+(b): HH-CPU density
+// thresholds and times over the scale-free subset.
+func BenchmarkFig8ScaleFree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logRender(b, r.Render)
+		}
+	}
+}
+
+// BenchmarkFig9ScaleFreeSensitivity regenerates Fig. 9: HH-CPU total
+// time over the √n/4 … 4√n sampled-row ladder.
+func BenchmarkFig9ScaleFreeSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logRender(b, r.Render)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command hetexp regenerates the paper's tables and figures on the
+// simulated heterogeneous platform.
+//
+// Usage:
+//
+//	hetexp                         # run everything
+//	hetexp -run fig3               # one experiment
+//	hetexp -run fig5 -datasets cant,web-BerkStan
+//	hetexp -list                   # list experiment ids
+//	hetexp -seed 7 -repeats 5      # sampling configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "experiment id to run (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		seed     = flag.Uint64("seed", 42, "sampling seed")
+		repeats  = flag.Int("repeats", 3, "independent samples per estimate (median)")
+		datasets = flag.String("datasets", "", "comma-separated dataset filter (default: the experiment's full set)")
+		quiet    = flag.Bool("q", false, "suppress timing output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Repeats: *repeats}
+	if *datasets != "" {
+		for _, n := range strings.Split(*datasets, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				opts.Names = append(opts.Names, n)
+			}
+		}
+	}
+
+	start := time.Now()
+	var err error
+	if *run == "all" {
+		err = experiments.RunAll(opts, os.Stdout)
+	} else {
+		err = experiments.Run(*run, opts, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetexp:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "completed in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}

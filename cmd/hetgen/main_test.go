@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mmio"
+)
+
+func TestRunSingleDataset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "qcd5_4", "", 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	coo, err := mmio.ReadFile(filepath.Join(dir, "qcd5_4.mtx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coo.Rows == 0 || coo.NNZ() == 0 {
+		t.Fatalf("empty matrix written: %dx%d/%d", coo.Rows, coo.Cols, coo.NNZ())
+	}
+}
+
+func TestRunCustomClass(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "custom.mtx")
+	if err := run(path, "", "powerlaw", 500, 5000, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	// Directory targets get a generated name.
+	if err := run(dir, "", "road", 400, 800, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "road_400.mtx")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(t.TempDir(), "nonexistent", "", 0, 0, 0); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run(t.TempDir(), "", "banana", 10, 10, 1); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, err := parseClass("fem"); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Command hetpart estimates a work-partition threshold for one dataset
+// and workload using the sampling framework, and compares it against
+// the exhaustive optimum and the naive baselines.
+//
+// Usage:
+//
+//	hetpart -workload cc -dataset netherlands_osm
+//	hetpart -workload spmm -dataset cant -seed 7
+//	hetpart -workload scalefree -dataset web-BerkStan
+//	hetpart -workload cc -mtx graph.mtx       # bring your own matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/hetcc"
+	"repro/internal/hetscale"
+	"repro/internal/hetsim"
+	"repro/internal/hetspmm"
+	"repro/internal/mmio"
+	"repro/internal/sparse"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "cc", "cc | spmm | scalefree")
+		dataset  = flag.String("dataset", "netherlands_osm", "Table II dataset name")
+		mtxPath  = flag.String("mtx", "", "MatrixMarket file to use instead of a synthetic dataset")
+		seed     = flag.Uint64("seed", 42, "sampling seed")
+		repeats  = flag.Int("repeats", 3, "independent samples (median)")
+		skipExh  = flag.Bool("skip-exhaustive", false, "skip the exhaustive comparison")
+	)
+	flag.Parse()
+
+	if err := run(*workload, *dataset, *mtxPath, *seed, *repeats, *skipExh); err != nil {
+		fmt.Fprintln(os.Stderr, "hetpart:", err)
+		os.Exit(1)
+	}
+}
+
+func loadMatrix(dataset, mtxPath string) (*sparse.CSR, string, error) {
+	if mtxPath != "" {
+		coo, err := mmio.ReadFile(mtxPath)
+		if err != nil {
+			return nil, "", err
+		}
+		m, err := sparse.FromCOO(coo)
+		if err != nil {
+			return nil, "", err
+		}
+		return m, mtxPath, nil
+	}
+	d, err := datasets.ByName(dataset)
+	if err != nil {
+		return nil, "", err
+	}
+	m, err := d.Matrix()
+	return m, d.Name, err
+}
+
+func run(workload, dataset, mtxPath string, seed uint64, repeats int, skipExh bool) error {
+	platform := hetsim.Default()
+	cfg := core.Config{Seed: seed, Repeats: repeats}
+
+	var w core.Sampled
+	var name string
+	switch workload {
+	case "cc":
+		var g *graph.Graph
+		if mtxPath != "" {
+			m, n, err := loadMatrix(dataset, mtxPath)
+			if err != nil {
+				return err
+			}
+			name = n
+			g, err = graph.FromCSR(m)
+			if err != nil {
+				return err
+			}
+		} else {
+			d, err := datasets.ByName(dataset)
+			if err != nil {
+				return err
+			}
+			name = d.Name
+			g, err = d.Graph()
+			if err != nil {
+				return err
+			}
+		}
+		w = hetcc.NewWorkload(name, g, hetcc.NewAlgorithm(platform))
+	case "spmm":
+		m, n, err := loadMatrix(dataset, mtxPath)
+		if err != nil {
+			return err
+		}
+		name = n
+		sw, err := hetspmm.NewWorkload(name, m, hetspmm.NewAlgorithm(platform))
+		if err != nil {
+			return err
+		}
+		cfg.Searcher = core.RaceThenFine{Window: 4}
+		w = sw
+	case "scalefree":
+		m, n, err := loadMatrix(dataset, mtxPath)
+		if err != nil {
+			return err
+		}
+		name = n
+		sw, err := hetscale.NewWorkload(name, m, hetscale.NewAlgorithm(platform))
+		if err != nil {
+			return err
+		}
+		cfg.Searcher = core.GradientDescent{}
+		w = sw
+	default:
+		return fmt.Errorf("unknown workload %q (want cc, spmm or scalefree)", workload)
+	}
+
+	start := time.Now()
+	est, err := core.EstimateThreshold(w, cfg)
+	if err != nil {
+		return err
+	}
+	wallEst := time.Since(start)
+	estTime, err := w.Evaluate(est.Threshold)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload:            %s\n", w.Name())
+	fmt.Printf("estimated threshold: %.2f (sample threshold %.2f, %d evals, %d samples)\n",
+		est.Threshold, est.SampleThreshold, est.Evals, est.Repeats)
+	fmt.Printf("simulated run time:  %v\n", estTime)
+	fmt.Printf("estimation overhead: %v simulated (%.1f%% of total), %v wall clock\n",
+		est.Overhead(), 100*float64(est.Overhead())/float64(est.Overhead()+estTime),
+		wallEst.Round(time.Millisecond))
+
+	if skipExh {
+		return nil
+	}
+	best, err := core.ExhaustiveBest(w, core.Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exhaustive best:     %.2f (%v); search would cost %v simulated\n",
+		best.Best, best.BestTime, best.Cost)
+	fmt.Printf("threshold gap:       %.2f; slowdown vs best: %.2f%%\n",
+		est.Threshold-best.Best, 100*(float64(estTime)/float64(best.BestTime)-1))
+	return nil
+}

@@ -1,0 +1,19 @@
+// Package repro reproduces "Nearly Balanced Work Partitioning for
+// Heterogeneous Algorithms" (Mallipeddi, Banerjee, Ramamoorthy,
+// Srinathan, Kothapalli; ICPP 2017) as a pure-Go system.
+//
+// The paper's sampling-based work-partitioning framework lives in
+// internal/core; the heterogeneous CPU+GPU platform it targets is
+// simulated by internal/hetsim; the three case-study algorithms are
+// internal/hetcc (connected components), internal/hetspmm
+// (sparse matrix multiplication) and internal/hetscale (scale-free
+// HH-CPU), with internal/hetdense covering the dense-MM motivation
+// study. internal/experiments regenerates every table and figure of
+// the evaluation; the benchmarks in this package drive them (one
+// benchmark per table/figure), and cmd/hetexp runs them from the
+// command line.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// paper→simulation substitutions, and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package repro

@@ -1,0 +1,88 @@
+// Multi-accelerator partitioning: the paper's Section II extension
+// where the partition threshold becomes a *vector*. A CPU plus two
+// unequal GPUs split a graph three ways; the vector threshold is
+// estimated from one contracted sample by coordinate descent and
+// compared against searching the full input, a CPU+single-GPU split,
+// and GPU-only execution.
+//
+//	go run ./examples/multigpu
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hetcc"
+	"repro/internal/hetsim"
+)
+
+func main() {
+	g, err := graph.Generate(graph.GenGraphConfig{
+		Kind: graph.KindRMAT, N: 1 << 15, M: 250000, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform := hetsim.DefaultMulti(2)
+	fmt.Printf("platform: %s + %d accelerators (%d and %d cores)\n",
+		platform.CPU.Spec.Name, len(platform.GPUs),
+		platform.GPUs[0].Spec.Cores, platform.GPUs[1].Spec.Cores)
+	fmt.Printf("input: RMAT graph, %d vertices, %d arcs\n\n", g.N, g.Arcs())
+
+	alg := hetcc.NewMultiAlgorithm(platform)
+	w := hetcc.NewMultiWorkload("rmat", g, alg)
+	w.SampleSize = 4 * hetcc.DefaultSampleSize(g.N)
+
+	// Estimate the share vector (CPU%, GPU0%; GPU1 takes the rest)
+	// from a single contracted sample.
+	est, err := core.EstimateVectorThreshold(w, core.Config{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	estTime, err := w.EvaluateVector(est.Thresholds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sampled vector estimate: CPU %.0f%%, GPU0 %.0f%%, GPU1 %.0f%% → %v\n",
+		est.Thresholds[0], est.Thresholds[1],
+		100-est.Thresholds[0]-est.Thresholds[1], estTime)
+	fmt.Printf("estimation overhead: %v (%d sample evaluations)\n\n",
+		est.Overhead(), est.Evals)
+
+	// Compare against coordinate descent over the full input.
+	full, err := (core.CoordinateDescent{}).Search(w, 0, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full-input search: CPU %.0f%%, GPU0 %.0f%% → %v (search cost %v, %d evals)\n",
+		full.Best[0], full.Best[1], full.BestTime, full.Cost, full.Evals)
+
+	// And against using only one accelerator or none.
+	var bestSingle time.Duration
+	var bestSingleVec []float64
+	for t0 := 0.0; t0 <= 100; t0 += 2 {
+		d, err := w.EvaluateVector([]float64{t0, 100 - t0}) // GPU1 idle
+		if err != nil {
+			log.Fatal(err)
+		}
+		if bestSingle == 0 || d < bestSingle {
+			bestSingle, bestSingleVec = d, []float64{t0, 100 - t0}
+		}
+	}
+	fmt.Printf("best CPU+GPU0 only:  CPU %.0f%% → %v\n", bestSingleVec[0], bestSingle)
+	gpuOnly, err := w.EvaluateVector([]float64{0, 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GPU0 only:           %v\n\n", gpuOnly)
+
+	res, err := alg.Run(g, est.Thresholds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run at the estimate: %d components, device times CPU=%v GPU0=%v GPU1=%v\n",
+		res.Components, res.DeviceTimes[0], res.DeviceTimes[1], res.DeviceTimes[2])
+}

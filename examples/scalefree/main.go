@@ -1,0 +1,103 @@
+// Scale-free SpMM case study (paper Section V): Algorithm HH-CPU
+// splits rows by density rather than by work volume. This example
+// shows the √n-row sample with √-degree thinning, the gradient-descent
+// identify, the t_A = t_s² extrapolation, and the offline best-fit
+// study that discovers the square relation.
+//
+//	go run ./examples/scalefree
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/hetscale"
+	"repro/internal/hetsim"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+func main() {
+	d, err := datasets.ByName("web-BerkStan")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := d.Matrix()
+	if err != nil {
+		log.Fatal(err)
+	}
+	alg := hetscale.NewAlgorithm(hetsim.Default())
+	w, err := hetscale.NewWorkload(d.Name, m, alg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, maxDeg := w.ThresholdRange()
+	fmt.Printf("dataset %s: %d rows, %d nnz, densest row %d nnz\n\n",
+		d.Name, m.Rows, m.NNZ(), int(maxDeg))
+
+	// Show the sampler's degree compression: rows of degree d keep
+	// ≈ √d entries.
+	sw, _, err := w.Sample(xrand.New(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	iw := sw.(*hetscale.Workload)
+	_, sampleMax := iw.ThresholdRange()
+	fmt.Printf("sample: %d rows (√n), densest sampled row %d nnz (≈ √%d)\n\n",
+		iw.Matrix().Rows, int(sampleMax), int(maxDeg))
+
+	// Full pipeline with gradient descent and t_A = t_s².
+	est, err := core.EstimateThreshold(w, core.Config{
+		Searcher: core.GradientDescent{},
+		Seed:     42,
+		Repeats:  3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := core.ExhaustiveBest(w, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	estTime, _ := w.Evaluate(est.Threshold)
+	fmt.Printf("sample threshold t_s = %.1f  →  extrapolated t_A ≈ t_s² = %.1f\n",
+		est.SampleThreshold, est.Threshold)
+	fmt.Printf("run at estimate: %v  (overhead %v, %.2f%%)\n",
+		estTime, est.Overhead(),
+		100*float64(est.Overhead())/float64(est.Overhead()+estTime))
+	fmt.Printf("exhaustive best: t = %.1f → %v\n\n", best.Best, best.BestTime)
+
+	// Execute HH-CPU for real and report the quadrant split.
+	res, err := alg.Run(w.Profile(), est.Threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HH-CPU at t=%.0f: %d dense rows on the CPU (%d flops), %d low-dense rows on the GPU (%d flops)\n\n",
+		est.Threshold, res.DenseRows, res.FlopsCPU, m.Rows-res.DenseRows, res.FlopsGPU)
+
+	// The offline best-fit study: train on several scale-free
+	// instances and recover the exponent of t_A = c·t_s^p.
+	fmt.Println("offline extrapolation fit (t_A = t_s^p over a training set):")
+	var train []*hetscale.Workload
+	for i, n := range []int{4000, 6000, 8000, 12000} {
+		a, err := sparse.Generate(sparse.GenConfig{
+			Class: sparse.ClassPowerLaw, Rows: n, NNZ: n * (12 + 6*i),
+			PowerLawExponent: 1.5 + 0.2*float64(i), Seed: uint64(90 + i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tw, err := hetscale.NewWorkload(fmt.Sprintf("train-%d", n), a, alg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		train = append(train, tw)
+	}
+	c, p, err := hetscale.FitExtrapolation(train, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  fitted: t_A = %.2f · t_s^%.2f (the paper reports t_A = t_s²)\n", c, p)
+}

@@ -1,0 +1,93 @@
+// SpMM case study (paper Section IV): estimate the split percentage
+// for heterogeneous sparse matrix multiplication (A×A) on a Table II
+// replica, including the race-based coarse estimation and the
+// sample-size sensitivity sweep of Fig. 6.
+//
+//	go run ./examples/spmm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/hetsim"
+	"repro/internal/hetspmm"
+)
+
+func main() {
+	d, err := datasets.ByName("cant")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := d.Matrix()
+	if err != nil {
+		log.Fatal(err)
+	}
+	alg := hetspmm.NewAlgorithm(hetsim.Default())
+	w, err := hetspmm.NewWorkload(d.Name, m, alg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %dx%d, %d nnz, %d multiply-adds in A×A\n\n",
+		d.Name, m.Rows, m.Cols, m.NNZ(), w.Profile().TotalWork())
+
+	// The race-based coarse estimate alone (paper: run the sample
+	// product on both devices, stop at the first finisher).
+	guess, raceCost, err := w.EstimateByRace()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("race-based coarse estimate: %.1f%% (cost %v)\n", guess, raceCost)
+
+	// The full pipeline: uniform n/4 × n/4 submatrix sample, race +
+	// fine search, identity extrapolation.
+	est, err := core.EstimateThreshold(w, core.Config{
+		Searcher: core.RaceThenFine{Window: 4},
+		Seed:     42,
+		Repeats:  3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := core.ExhaustiveBest(w, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	estTime, _ := w.Evaluate(est.Threshold)
+	fmt.Printf("sampling estimate:          %.1f%% → %v (overhead %v)\n",
+		est.Threshold, estTime, est.Overhead())
+	fmt.Printf("exhaustive best:            %.1f%% → %v (search cost %v)\n\n",
+		best.Best, best.BestTime, best.Cost)
+
+	// Execute the real multiplication at the estimated split and
+	// sanity check the result dimensions.
+	prof := w.Profile()
+	res, err := alg.Run(prof, est.Threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C = A×A computed: %dx%d with %d nnz; CPU did %d flops, GPU %d (split row %d)\n\n",
+		res.C.Rows, res.C.Cols, res.C.NNZ(), res.FlopsCPU, res.FlopsGPU, res.SplitRow)
+
+	// Sample-size sensitivity (Fig. 6's sweep for this matrix).
+	fmt.Println("sample-size sensitivity (estimation + run at the estimate):")
+	for _, div := range []int{10, 5, 4, 2} {
+		sw, err := hetspmm.NewWorkload(d.Name, m, alg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sw.SampleDivisor = div
+		e, err := core.EstimateThreshold(sw, core.Config{
+			Searcher: core.RaceThenFine{Window: 4},
+			Seed:     42 + uint64(div),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		runTime, _ := sw.Evaluate(e.Threshold)
+		fmt.Printf("  n/%-2d sample: estimate %.1f, total %v (estimation %v)\n",
+			div, e.Threshold, e.Overhead()+runTime, e.Overhead())
+	}
+}

@@ -1,0 +1,362 @@
+// Package core implements the paper's contribution: a sampling-based
+// framework for finding nearly balanced work partitions for
+// heterogeneous algorithms.
+//
+// A heterogeneous algorithm partitions its input by a scalar threshold
+// t (a percentage in [0, 100]) and processes the two pieces on the CPU
+// and the GPU concurrently. Choosing t well is hard for irregular
+// inputs; the framework estimates it in three steps:
+//
+//  1. Sample   — build a miniature instance I_s of the input by uniform
+//     random sampling (workload-specific, see the Sampled interface).
+//  2. Identify — run the heterogeneous algorithm on I_s over candidate
+//     thresholds using a search strategy (exhaustive sweep,
+//     coarse-to-fine, gradient descent, or a race-based coarse
+//     estimate refined by a local sweep) and keep the best.
+//  3. Extrapolate — map the sample-optimal threshold back to the full
+//     input (identity for CC and unstructured SpMM; t_A = t_s² for
+//     scale-free SpMM).
+//
+// The framework is generic over workloads: anything that can evaluate
+// a threshold on its input and produce a sampled miniature of itself
+// can be partitioned this way (see examples/custom for a user-defined
+// workload).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Workload is a heterogeneous algorithm instance whose work partition
+// is controlled by a scalar threshold in [0, 100].
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Evaluate runs the heterogeneous algorithm with threshold t and
+	// returns the simulated wall-clock time of the computation
+	// (Phase II of the paper's algorithms; partitioning cost
+	// included, estimation cost not).
+	Evaluate(t float64) (time.Duration, error)
+}
+
+// Sampled is a workload that supports the sampling framework.
+type Sampled interface {
+	Workload
+	// Sample builds the miniature instance using the provided
+	// generator and returns a Workload over the sample along with
+	// the simulated cost of constructing the sample.
+	Sample(r *xrand.Rand) (Workload, time.Duration, error)
+	// Extrapolate maps the best threshold found on the sample to a
+	// threshold for the full input.
+	Extrapolate(tSample float64) float64
+}
+
+// Ranger is an optional interface for workloads whose threshold is not
+// a percentage. CC and unstructured SpMM use [0, 100]; the scale-free
+// SpMM threshold is a row-density count in [0, maxRowNNZ], and its
+// sample's range is the (smaller) density range of the miniature.
+// When a workload implements Ranger, searches use its range instead of
+// the Config's.
+type Ranger interface {
+	ThresholdRange() (lo, hi float64)
+}
+
+// RaceEstimator is an optional interface for sampled workloads that
+// support the paper's race-based coarse estimation (Section IV-A:
+// "multiplying the sample matrices A' and B' on CPU and GPU
+// independently in parallel and stop when either of them finishes; by
+// observing the amount of work processed, we can roughly estimate the
+// split percentage"). It returns the coarse threshold estimate and the
+// simulated cost of the race.
+type RaceEstimator interface {
+	EstimateByRace() (float64, time.Duration, error)
+}
+
+// ErrNoEvaluations is returned when a search is configured so that it
+// evaluates no thresholds.
+var ErrNoEvaluations = errors.New("core: search evaluated no thresholds")
+
+// EvalPoint is one (threshold, simulated time) observation.
+type EvalPoint struct {
+	T    float64
+	Time time.Duration
+}
+
+// SearchResult is the outcome of an Identify search.
+type SearchResult struct {
+	// Best is the threshold with the minimum observed time.
+	Best float64
+	// BestTime is the simulated time at Best.
+	BestTime time.Duration
+	// Evals is the number of Evaluate calls made.
+	Evals int
+	// Cost is the total simulated time spent across all Evaluate
+	// calls — on a sample this is the estimation overhead; on the
+	// full input this is the (impractically large) exhaustive cost.
+	Cost time.Duration
+	// Curve holds every observation, in evaluation order.
+	Curve []EvalPoint
+}
+
+// Searcher is an Identify strategy: it minimizes w.Evaluate over
+// [lo, hi].
+type Searcher interface {
+	Name() string
+	Search(w Workload, lo, hi float64) (SearchResult, error)
+}
+
+// evalTracker memoizes Evaluate calls and accumulates search cost, so
+// composite strategies do not double-charge repeated thresholds.
+type evalTracker struct {
+	w     Workload
+	seen  map[int64]EvalPoint // keyed by rounded millipercent
+	res   SearchResult
+	first bool
+}
+
+func newEvalTracker(w Workload) *evalTracker {
+	return &evalTracker{w: w, seen: make(map[int64]EvalPoint), first: true}
+}
+
+func key(t float64) int64 { return int64(t*1000 + 0.5) }
+
+func (e *evalTracker) eval(t float64) (time.Duration, error) {
+	if p, ok := e.seen[key(t)]; ok {
+		return p.Time, nil
+	}
+	d, err := e.w.Evaluate(t)
+	if err != nil {
+		return 0, fmt.Errorf("core: evaluating threshold %.3f: %w", t, err)
+	}
+	p := EvalPoint{T: t, Time: d}
+	e.seen[key(t)] = p
+	e.res.Evals++
+	e.res.Cost += d
+	e.res.Curve = append(e.res.Curve, p)
+	if e.first || d < e.res.BestTime {
+		e.res.Best, e.res.BestTime = t, d
+		e.first = false
+	}
+	return d, nil
+}
+
+func (e *evalTracker) result() (SearchResult, error) {
+	if e.res.Evals == 0 {
+		return SearchResult{}, ErrNoEvaluations
+	}
+	return e.res, nil
+}
+
+// Exhaustive evaluates every threshold from lo to hi in steps of Step
+// (default 1). This is the paper's baseline "best possible threshold
+// obtained via an exhaustive search"; on full inputs it is the
+// impractical gold standard the sampling framework is compared to.
+type Exhaustive struct {
+	Step float64
+}
+
+// Name implements Searcher.
+func (s Exhaustive) Name() string { return fmt.Sprintf("exhaustive(step=%g)", s.step()) }
+
+func (s Exhaustive) step() float64 {
+	if s.Step <= 0 {
+		return 1
+	}
+	return s.Step
+}
+
+// Search implements Searcher.
+func (s Exhaustive) Search(w Workload, lo, hi float64) (SearchResult, error) {
+	e := newEvalTracker(w)
+	for t := lo; t <= hi+1e-9; t += s.step() {
+		if _, err := e.eval(t); err != nil {
+			return SearchResult{}, err
+		}
+	}
+	return e.result()
+}
+
+// CoarseToFine first sweeps [lo, hi] with stride Coarse (default 8,
+// the paper's choice: "we run with values of t' that differ by 8"),
+// then sweeps a ±Coarse window around the coarse winner with stride
+// Fine (default 1).
+type CoarseToFine struct {
+	Coarse float64
+	Fine   float64
+}
+
+// Name implements Searcher.
+func (s CoarseToFine) Name() string {
+	return fmt.Sprintf("coarse-to-fine(%g→%g)", s.coarse(), s.fine())
+}
+
+func (s CoarseToFine) coarse() float64 {
+	if s.Coarse <= 0 {
+		return 8
+	}
+	return s.Coarse
+}
+
+func (s CoarseToFine) fine() float64 {
+	if s.Fine <= 0 {
+		return 1
+	}
+	return s.Fine
+}
+
+// Search implements Searcher.
+func (s CoarseToFine) Search(w Workload, lo, hi float64) (SearchResult, error) {
+	e := newEvalTracker(w)
+	for t := lo; t <= hi+1e-9; t += s.coarse() {
+		if _, err := e.eval(t); err != nil {
+			return SearchResult{}, err
+		}
+	}
+	// Always include the right endpoint in the coarse pass.
+	if _, err := e.eval(hi); err != nil {
+		return SearchResult{}, err
+	}
+	center := e.res.Best
+	fLo, fHi := center-s.coarse(), center+s.coarse()
+	if fLo < lo {
+		fLo = lo
+	}
+	if fHi > hi {
+		fHi = hi
+	}
+	for t := fLo; t <= fHi+1e-9; t += s.fine() {
+		if _, err := e.eval(t); err != nil {
+			return SearchResult{}, err
+		}
+	}
+	return e.result()
+}
+
+// GradientDescent performs discrete hill descent: starting from Start
+// (default the midpoint), it probes ±step and moves toward the lower
+// time, halving the step when neither direction improves, until the
+// step falls below Fine (default 1). This is the Identify strategy the
+// scale-free case study uses ("we use a gradient descent based
+// approach to find the best threshold that works for A'").
+type GradientDescent struct {
+	Start float64 // initial threshold; <0 means midpoint of [lo,hi]
+	Step  float64 // initial step (default 16)
+	Fine  float64 // terminal step (default 1)
+}
+
+// Name implements Searcher.
+func (s GradientDescent) Name() string { return "gradient-descent" }
+
+func (s GradientDescent) step() float64 {
+	if s.Step <= 0 {
+		return 16
+	}
+	return s.Step
+}
+
+func (s GradientDescent) fine() float64 {
+	if s.Fine <= 0 {
+		return 1
+	}
+	return s.Fine
+}
+
+// Search implements Searcher.
+func (s GradientDescent) Search(w Workload, lo, hi float64) (SearchResult, error) {
+	e := newEvalTracker(w)
+	cur := s.Start
+	if cur < lo || cur > hi {
+		cur = (lo + hi) / 2
+	}
+	step := s.step()
+	curTime, err := e.eval(cur)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	for step >= s.fine() {
+		moved := false
+		for _, cand := range []float64{cur - step, cur + step} {
+			// Clamp to the range rather than skipping: on step-shaped
+			// landscapes the optimum often sits exactly at a range
+			// endpoint, which a skipping probe would never visit.
+			if cand < lo {
+				cand = lo
+			}
+			if cand > hi {
+				cand = hi
+			}
+			if cand == cur {
+				continue
+			}
+			d, err := e.eval(cand)
+			if err != nil {
+				return SearchResult{}, err
+			}
+			if d < curTime {
+				cur, curTime = cand, d
+				moved = true
+			}
+		}
+		if !moved {
+			step /= 2
+		}
+	}
+	return e.result()
+}
+
+// RaceThenFine asks the workload for a race-based coarse estimate
+// (RaceEstimator), then sweeps a ±Window (default 10) neighborhood
+// with stride Fine (default 1). Workloads that do not implement
+// RaceEstimator fall back to CoarseToFine.
+type RaceThenFine struct {
+	Window float64
+	Fine   float64
+}
+
+// Name implements Searcher.
+func (s RaceThenFine) Name() string { return "race-then-fine" }
+
+func (s RaceThenFine) window() float64 {
+	if s.Window <= 0 {
+		return 10
+	}
+	return s.Window
+}
+
+func (s RaceThenFine) fine() float64 {
+	if s.Fine <= 0 {
+		return 1
+	}
+	return s.Fine
+}
+
+// Search implements Searcher.
+func (s RaceThenFine) Search(w Workload, lo, hi float64) (SearchResult, error) {
+	re, ok := w.(RaceEstimator)
+	if !ok {
+		return CoarseToFine{}.Search(w, lo, hi)
+	}
+	guess, raceCost, err := re.EstimateByRace()
+	if err != nil {
+		return SearchResult{}, fmt.Errorf("core: race estimate: %w", err)
+	}
+	e := newEvalTracker(w)
+	e.res.Cost += raceCost
+	fLo, fHi := guess-s.window(), guess+s.window()
+	if fLo < lo {
+		fLo = lo
+	}
+	if fHi > hi {
+		fHi = hi
+	}
+	for t := fLo; t <= fHi+1e-9; t += s.fine() {
+		if _, err := e.eval(t); err != nil {
+			return SearchResult{}, err
+		}
+	}
+	return e.result()
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Config controls EstimateThreshold.
+type Config struct {
+	// Searcher is the Identify strategy (default CoarseToFine{}).
+	Searcher Searcher
+	// Lo, Hi bound the threshold range; default [0, 100].
+	Lo, Hi float64
+	// Seed drives the sampling randomness.
+	Seed uint64
+	// Repeats re-runs the whole Sample+Identify pipeline this many
+	// times with independent samples and keeps the median estimate
+	// ("our method allows us the freedom to conduct multiple runs of
+	// the algorithm on the sampled input"). Default 1.
+	Repeats int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Searcher == nil {
+		c.Searcher = CoarseToFine{}
+	}
+	if c.Hi == 0 && c.Lo == 0 {
+		c.Hi = 100
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 1
+	}
+	return c
+}
+
+// Estimate is the outcome of the sampling framework on one workload.
+type Estimate struct {
+	// Threshold is the extrapolated threshold for the full input.
+	Threshold float64
+	// SampleThreshold is the best threshold found on the sample
+	// (before extrapolation).
+	SampleThreshold float64
+	// SampleCost is the simulated cost of building the sample(s).
+	SampleCost time.Duration
+	// IdentifyCost is the simulated cost of all Evaluate calls on
+	// the sample(s).
+	IdentifyCost time.Duration
+	// Evals is the number of sample evaluations performed.
+	Evals int
+	// Repeats is the number of independent samples used.
+	Repeats int
+}
+
+// Overhead returns the total simulated estimation cost (Sample +
+// Identify phases).
+func (e *Estimate) Overhead() time.Duration { return e.SampleCost + e.IdentifyCost }
+
+// EstimateThreshold runs the full Sample → Identify → Extrapolate
+// pipeline of Section II and returns the estimated threshold together
+// with its overhead accounting.
+func EstimateThreshold(w Sampled, cfg Config) (*Estimate, error) {
+	c := cfg.withDefaults()
+	fullLo, fullHi := rangeOf(w, c)
+	if fullLo >= fullHi {
+		return nil, fmt.Errorf("core: threshold range [%g, %g] is empty", fullLo, fullHi)
+	}
+	r := xrand.New(c.Seed)
+	est := &Estimate{Repeats: c.Repeats}
+	sampleBests := make([]float64, 0, c.Repeats)
+	for rep := 0; rep < c.Repeats; rep++ {
+		sw, sampleCost, err := w.Sample(r.Split())
+		if err != nil {
+			return nil, fmt.Errorf("core: sampling %s: %w", w.Name(), err)
+		}
+		est.SampleCost += sampleCost
+		lo, hi := rangeOf(sw, c)
+		res, err := c.Searcher.Search(sw, lo, hi)
+		if err != nil {
+			return nil, fmt.Errorf("core: identify on %s sample: %w", w.Name(), err)
+		}
+		est.IdentifyCost += res.Cost
+		est.Evals += res.Evals
+		sampleBests = append(sampleBests, res.Best)
+	}
+	est.SampleThreshold = median(sampleBests)
+	est.Threshold = w.Extrapolate(est.SampleThreshold)
+	if est.Threshold < fullLo {
+		est.Threshold = fullLo
+	}
+	if est.Threshold > fullHi {
+		est.Threshold = fullHi
+	}
+	return est, nil
+}
+
+// rangeOf returns a workload's threshold range: its own if it
+// implements Ranger, otherwise the Config's.
+func rangeOf(w Workload, c Config) (lo, hi float64) {
+	if rg, ok := w.(Ranger); ok {
+		return rg.ThresholdRange()
+	}
+	return c.Lo, c.Hi
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// ExhaustiveBest runs the gold-standard exhaustive search on the full
+// input with unit stride: the paper's "best possible threshold". The
+// returned SearchResult's Cost is the (large) simulated time such a
+// search would take — the cost the sampling framework avoids. A
+// workload implementing Ranger is searched over its own range.
+func ExhaustiveBest(w Workload, cfg Config) (SearchResult, error) {
+	c := cfg.withDefaults()
+	lo, hi := rangeOf(w, c)
+	return Exhaustive{Step: 1}.Search(w, lo, hi)
+}
+
+// Baseline names used in reports.
+const (
+	BaselineNaiveStatic  = "NaiveStatic"
+	BaselineNaiveAverage = "NaiveAverage"
+	BaselineGPUOnly      = "Naive"
+)
+
+// NaiveAverage returns the NaiveAverage baseline threshold: the mean
+// of the per-dataset exhaustive optima ("the thresholds arrived at for
+// all the datasets under consideration are then averaged and treated
+// as the threshold percentage for all of the input graphs").
+func NaiveAverage(exhaustiveBests []float64) float64 {
+	if len(exhaustiveBests) == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range exhaustiveBests {
+		s += t
+	}
+	return s / float64(len(exhaustiveBests))
+}

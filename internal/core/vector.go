@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// VectorWorkload is a heterogeneous algorithm whose work partition is
+// controlled by a vector of thresholds — the paper's extension beyond
+// the single CPU+GPU pair: "the values of the threshold(s) now can be
+// treated as a vector, unlike a scalar in the simple CPU+GPU case"
+// (Section II). For a platform with d+1 devices the vector has d
+// components; component i is the percentage of the input assigned to
+// device i, with the remainder falling to the last device.
+type VectorWorkload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Dim is the number of threshold components.
+	Dim() int
+	// EvaluateVector runs the heterogeneous algorithm with the given
+	// thresholds and returns the simulated duration. Implementations
+	// must tolerate component sums above 100 by clamping (the last
+	// device may receive nothing).
+	EvaluateVector(t []float64) (time.Duration, error)
+}
+
+// SampledVector is a VectorWorkload supporting the sampling framework.
+type SampledVector interface {
+	VectorWorkload
+	// SampleVector builds a miniature instance.
+	SampleVector(r *xrand.Rand) (VectorWorkload, time.Duration, error)
+	// ExtrapolateVector maps the sample-optimal vector to the full
+	// input.
+	ExtrapolateVector(t []float64) []float64
+}
+
+// VectorSearchResult is the outcome of a vector-threshold search.
+type VectorSearchResult struct {
+	Best     []float64
+	BestTime time.Duration
+	Evals    int
+	Cost     time.Duration
+}
+
+// CoordinateDescent minimizes EvaluateVector by cyclic coordinate
+// descent: each round sweeps every component with a shrinking step,
+// holding the others fixed, until no component moves or maxRounds is
+// reached. It generalizes the scalar GradientDescent to the vector
+// thresholds of multi-accelerator platforms.
+type CoordinateDescent struct {
+	// Step is the initial per-component step (default 16).
+	Step float64
+	// Fine is the terminal step (default 1).
+	Fine float64
+	// MaxRounds bounds the sweep count (default 12).
+	MaxRounds int
+}
+
+func (s CoordinateDescent) step() float64 {
+	if s.Step <= 0 {
+		return 16
+	}
+	return s.Step
+}
+
+func (s CoordinateDescent) fine() float64 {
+	if s.Fine <= 0 {
+		return 1
+	}
+	return s.Fine
+}
+
+func (s CoordinateDescent) maxRounds() int {
+	if s.MaxRounds <= 0 {
+		return 12
+	}
+	return s.MaxRounds
+}
+
+// Search minimizes w over [lo, hi]^Dim starting from an equal split.
+func (s CoordinateDescent) Search(w VectorWorkload, lo, hi float64) (VectorSearchResult, error) {
+	d := w.Dim()
+	if d <= 0 {
+		return VectorSearchResult{}, fmt.Errorf("core: vector workload %s has dimension %d", w.Name(), d)
+	}
+	cur := make([]float64, d)
+	for i := range cur {
+		cur[i] = (lo + hi) / float64(d+1)
+	}
+	res := VectorSearchResult{Best: append([]float64(nil), cur...)}
+	eval := func(t []float64) (time.Duration, error) {
+		dur, err := w.EvaluateVector(t)
+		if err != nil {
+			return 0, err
+		}
+		res.Evals++
+		res.Cost += dur
+		return dur, nil
+	}
+	curTime, err := eval(cur)
+	if err != nil {
+		return VectorSearchResult{}, err
+	}
+	res.BestTime = curTime
+
+	step := s.step()
+	for round := 0; round < s.maxRounds() && step >= s.fine(); round++ {
+		improved := false
+		for i := 0; i < d; i++ {
+			for _, dir := range []float64{-step, step} {
+				cand := append([]float64(nil), cur...)
+				cand[i] += dir
+				if cand[i] < lo {
+					cand[i] = lo
+				}
+				if cand[i] > hi {
+					cand[i] = hi
+				}
+				if cand[i] == cur[i] {
+					continue
+				}
+				dur, err := eval(cand)
+				if err != nil {
+					return VectorSearchResult{}, err
+				}
+				if dur < curTime {
+					cur, curTime = cand, dur
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	res.Best = cur
+	res.BestTime = curTime
+	return res, nil
+}
+
+// VectorEstimate is the sampling framework's outcome for a vector
+// workload.
+type VectorEstimate struct {
+	Thresholds      []float64
+	SampleThreshold []float64
+	SampleCost      time.Duration
+	IdentifyCost    time.Duration
+	Evals           int
+}
+
+// Overhead returns the total simulated estimation cost.
+func (e *VectorEstimate) Overhead() time.Duration { return e.SampleCost + e.IdentifyCost }
+
+// EstimateVectorThreshold runs Sample → Identify (coordinate descent)
+// → Extrapolate for a vector workload.
+func EstimateVectorThreshold(w SampledVector, cfg Config) (*VectorEstimate, error) {
+	c := cfg.withDefaults()
+	r := xrand.New(c.Seed)
+	sw, sampleCost, err := w.SampleVector(r.Split())
+	if err != nil {
+		return nil, fmt.Errorf("core: sampling %s: %w", w.Name(), err)
+	}
+	sr, err := (CoordinateDescent{}).Search(sw, c.Lo, c.Hi)
+	if err != nil {
+		return nil, fmt.Errorf("core: identify on %s sample: %w", w.Name(), err)
+	}
+	est := &VectorEstimate{
+		SampleThreshold: sr.Best,
+		SampleCost:      sampleCost,
+		IdentifyCost:    sr.Cost,
+		Evals:           sr.Evals,
+	}
+	est.Thresholds = w.ExtrapolateVector(sr.Best)
+	for i, t := range est.Thresholds {
+		if t < c.Lo {
+			est.Thresholds[i] = c.Lo
+		}
+		if t > c.Hi {
+			est.Thresholds[i] = c.Hi
+		}
+	}
+	return est, nil
+}

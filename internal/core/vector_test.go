@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// bowl is a vector workload with an additive quadratic landscape.
+type bowl struct {
+	name string
+	opt  []float64
+	fail error
+}
+
+func (b *bowl) Name() string { return b.name }
+func (b *bowl) Dim() int     { return len(b.opt) }
+func (b *bowl) EvaluateVector(t []float64) (time.Duration, error) {
+	if b.fail != nil {
+		return 0, b.fail
+	}
+	if len(t) != len(b.opt) {
+		return 0, errors.New("dim mismatch")
+	}
+	s := 1.0
+	for i := range t {
+		d := t[i] - b.opt[i]
+		s += d * d
+	}
+	return time.Duration(s * float64(time.Microsecond)), nil
+}
+
+// sampledBowl shifts its sample optimum and scales cost down.
+type sampledBowl struct {
+	bowl
+	shift     float64
+	sampleErr error
+}
+
+func (b *sampledBowl) SampleVector(r *xrand.Rand) (VectorWorkload, time.Duration, error) {
+	if b.sampleErr != nil {
+		return nil, 0, b.sampleErr
+	}
+	opt := make([]float64, len(b.opt))
+	for i := range opt {
+		opt[i] = b.opt[i] + b.shift
+	}
+	return &bowl{name: b.name + "-sample", opt: opt}, time.Millisecond, nil
+}
+
+func (b *sampledBowl) ExtrapolateVector(t []float64) []float64 {
+	out := make([]float64, len(t))
+	for i := range t {
+		out[i] = t[i] - b.shift
+	}
+	return out
+}
+
+func TestCoordinateDescentFindsVectorOptimum(t *testing.T) {
+	for _, opt := range [][]float64{
+		{25, 60},
+		{5, 95, 40},
+		{50},
+	} {
+		w := &bowl{name: "bowl", opt: opt}
+		res, err := (CoordinateDescent{}).Search(w, 0, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range opt {
+			if math.Abs(res.Best[i]-opt[i]) > 2 {
+				t.Errorf("opt %v: component %d = %v", opt, i, res.Best[i])
+			}
+		}
+	}
+}
+
+func TestCoordinateDescentBoundaryOptimum(t *testing.T) {
+	w := &bowl{name: "edge", opt: []float64{0, 100}}
+	res, err := (CoordinateDescent{}).Search(w, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Best[0]-0) > 2 || math.Abs(res.Best[1]-100) > 2 {
+		t.Errorf("boundary optimum missed: %v", res.Best)
+	}
+}
+
+func TestCoordinateDescentErrors(t *testing.T) {
+	w := &bowl{name: "bad", opt: []float64{10}, fail: errors.New("boom")}
+	if _, err := (CoordinateDescent{}).Search(w, 0, 100); err == nil {
+		t.Error("evaluate error swallowed")
+	}
+	empty := &bowl{name: "empty"}
+	if _, err := (CoordinateDescent{}).Search(empty, 0, 100); err == nil {
+		t.Error("zero-dim workload accepted")
+	}
+}
+
+func TestEstimateVectorThreshold(t *testing.T) {
+	w := &sampledBowl{
+		bowl:  bowl{name: "v", opt: []float64{30, 55}},
+		shift: 3,
+	}
+	est, err := EstimateVectorThreshold(w, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Thresholds) != 2 {
+		t.Fatalf("thresholds = %v", est.Thresholds)
+	}
+	for i, want := range w.opt {
+		if math.Abs(est.Thresholds[i]-want) > 3 {
+			t.Errorf("component %d = %v, want ~%v", i, est.Thresholds[i], want)
+		}
+	}
+	if est.SampleCost != time.Millisecond || est.IdentifyCost <= 0 {
+		t.Error("cost accounting wrong")
+	}
+	if est.Overhead() != est.SampleCost+est.IdentifyCost {
+		t.Error("Overhead inconsistent")
+	}
+}
+
+func TestEstimateVectorThresholdClampsAndErrors(t *testing.T) {
+	w := &sampledBowl{
+		bowl:  bowl{name: "v", opt: []float64{2, 99}},
+		shift: 10, // extrapolation pushes below 0
+	}
+	est, err := EstimateVectorThreshold(w, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range est.Thresholds {
+		if v < 0 || v > 100 {
+			t.Errorf("threshold %v not clamped", v)
+		}
+	}
+	w.sampleErr = errors.New("sample broke")
+	if _, err := EstimateVectorThreshold(w, Config{}); err == nil {
+		t.Error("sample error swallowed")
+	}
+}

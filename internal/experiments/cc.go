@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/hetcc"
+)
+
+// Fig3Result holds the CC threshold/time comparison of Fig. 3(a)+(b).
+type Fig3Result struct {
+	Rows []CaseRow
+}
+
+// Fig3 reproduces the connected-components case study over the Table II
+// graphs: for each graph it finds the best threshold exhaustively,
+// estimates one by sampling, and evaluates both plus the NaiveStatic
+// (FLOPS ratio), NaiveAverage (mean of exhaustive optima) and Naive
+// (GPU-only) baselines.
+func Fig3(opts Options) (*Fig3Result, error) {
+	o := opts.withDefaults()
+	alg := hetcc.NewAlgorithm(o.Platform)
+	var ds []datasets.Dataset
+	for _, d := range datasets.All() {
+		if o.wants(d.Name) {
+			ds = append(ds, d)
+		}
+	}
+	rows, err := forEach(ds, func(d datasets.Dataset) (CaseRow, error) {
+		g, err := d.Graph()
+		if err != nil {
+			return CaseRow{}, err
+		}
+		w := hetcc.NewWorkload(d.Name, g, alg)
+		return ccCase(d.Name, w, alg, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// NaiveAverage needs all exhaustive optima; fill it in and
+	// evaluate nothing further (its time column would coincide with a
+	// plain run at that threshold and is not plotted in the paper).
+	bests := make([]float64, len(rows))
+	for i, r := range rows {
+		bests[i] = r.Exhaustive
+	}
+	avg := core.NaiveAverage(bests)
+	for i := range rows {
+		rows[i].NaiveAverage = avg
+	}
+	return &Fig3Result{Rows: rows}, nil
+}
+
+func ccCase(name string, w *hetcc.Workload, alg *hetcc.Algorithm, o Options) (CaseRow, error) {
+	best, err := core.ExhaustiveBest(w, core.Config{})
+	if err != nil {
+		return CaseRow{}, fmt.Errorf("fig3 %s exhaustive: %w", name, err)
+	}
+	est, err := core.EstimateThreshold(w, core.Config{
+		Seed:    o.Seed ^ hashName(name),
+		Repeats: o.Repeats,
+	})
+	if err != nil {
+		return CaseRow{}, fmt.Errorf("fig3 %s estimate: %w", name, err)
+	}
+	estTime, err := w.Evaluate(est.Threshold)
+	if err != nil {
+		return CaseRow{}, err
+	}
+	gpuOnly, err := alg.RunGPUOnly(w.Graph())
+	if err != nil {
+		return CaseRow{}, err
+	}
+	row := CaseRow{
+		Dataset:          name,
+		Exhaustive:       best.Best,
+		Estimated:        est.Threshold,
+		NaiveStatic:      100 * o.Platform.StaticCPUShare(),
+		ThresholdDiffPct: math.Abs(est.Threshold - best.Best),
+		ExhaustiveTime:   best.BestTime,
+		EstimatedTime:    estTime,
+		NaiveTime:        gpuOnly.Time,
+		TimeDiffPct:      100 * (float64(estTime)/float64(best.BestTime) - 1),
+		SearchCost:       best.Cost,
+	}
+	row.OverheadPct = 100 * float64(est.Overhead()) / float64(est.Overhead()+estTime)
+	return row, nil
+}
+
+// hashName mixes a dataset name into the seed so each dataset draws an
+// independent sample stream.
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Render writes the figure as text.
+func (r *Fig3Result) Render(w io.Writer) {
+	renderCaseRows(w, "Fig. 3 — CC: sampling-estimated thresholds vs exhaustive search", r.Rows)
+}
+
+// Fig4Result holds the CC sample-size sensitivity study.
+type Fig4Result struct {
+	Series []SensitivitySeries
+}
+
+// Fig4 reproduces the CC sensitivity study: the sample size varies
+// over √n/4 … 4√n and the total time (estimation + run at the
+// resulting threshold) exhibits a near-concave shape with its minimum
+// around √n. The paper shows two graphs; the default set is one web
+// graph and one road network.
+func Fig4(opts Options) (*Fig4Result, error) {
+	o := opts.withDefaults()
+	names := o.Names
+	if len(names) == 0 {
+		names = []string{"web-BerkStan", "netherlands_osm"}
+	}
+	alg := hetcc.NewAlgorithm(o.Platform)
+	series, err := forEach(names, func(name string) (SensitivitySeries, error) {
+		d, err := datasets.ByName(name)
+		if err != nil {
+			return SensitivitySeries{}, err
+		}
+		g, err := d.Graph()
+		if err != nil {
+			return SensitivitySeries{}, err
+		}
+		return ccSensitivity(name, g, alg, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig4Result{Series: series}, nil
+}
+
+// SampleSizeLadder is the √n-relative ladder the paper sweeps in
+// Figs. 4 and 9.
+var SampleSizeLadder = []struct {
+	Label  string
+	Factor float64
+}{
+	{"sqrt(n)/4", 0.25},
+	{"sqrt(n)/2", 0.5},
+	{"sqrt(n)", 1},
+	{"2*sqrt(n)", 2},
+	{"4*sqrt(n)", 4},
+}
+
+func ccSensitivity(name string, g *graph.Graph, alg *hetcc.Algorithm, o Options) (SensitivitySeries, error) {
+	s := SensitivitySeries{Dataset: name}
+	root := math.Sqrt(float64(g.N))
+	for _, step := range SampleSizeLadder {
+		size := int(step.Factor * root)
+		if size < 2 {
+			size = 2
+		}
+		w := hetcc.NewWorkload(name, g, alg)
+		w.SampleSize = size
+		est, err := core.EstimateThreshold(w, core.Config{
+			Seed:    o.Seed ^ hashName(name) ^ uint64(size),
+			Repeats: o.Repeats,
+		})
+		if err != nil {
+			return s, fmt.Errorf("fig4 %s size %d: %w", name, size, err)
+		}
+		runTime, err := w.Evaluate(est.Threshold)
+		if err != nil {
+			return s, err
+		}
+		s.Points = append(s.Points, SensitivityPoint{
+			Label:          step.Label,
+			SampleSize:     size,
+			EstimationTime: est.Overhead(),
+			TotalTime:      est.Overhead() + runTime,
+			Threshold:      est.Threshold,
+		})
+	}
+	return s, nil
+}
+
+// Render writes the figure as text.
+func (r *Fig4Result) Render(w io.Writer) {
+	renderSensitivity(w, "Fig. 4 — CC: sample size vs estimation and total time", r.Series)
+}
+
+// MinimumNear reports whether the series' total-time minimum falls at
+// the ladder entry with the given label (the paper: at √n).
+func (s SensitivitySeries) MinimumNear(label string) bool {
+	if len(s.Points) == 0 {
+		return false
+	}
+	best := 0
+	for i, p := range s.Points {
+		if p.TotalTime < s.Points[best].TotalTime {
+			best = i
+		}
+	}
+	return s.Points[best].Label == label
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one named experiment and renders it to w.
+type Runner func(opts Options, w io.Writer) error
+
+// Registry maps experiment ids to runners; used by cmd/hetexp.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig1": func(o Options, w io.Writer) error {
+			r, err := Fig1(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		},
+		"table1": func(o Options, w io.Writer) error {
+			r, err := Table1(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		},
+		"table2": func(o Options, w io.Writer) error {
+			r, err := Table2(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		},
+		"fig3": func(o Options, w io.Writer) error {
+			r, err := Fig3(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		},
+		"fig4": func(o Options, w io.Writer) error {
+			r, err := Fig4(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		},
+		"fig5": func(o Options, w io.Writer) error {
+			r, err := Fig5(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		},
+		"fig6": func(o Options, w io.Writer) error {
+			r, err := Fig6(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		},
+		"fig7": func(o Options, w io.Writer) error {
+			r, err := Fig7(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		},
+		"fig8": func(o Options, w io.Writer) error {
+			r, err := Fig8(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		},
+		"fig9": func(o Options, w io.Writer) error {
+			r, err := Fig9(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		},
+		"ablate-sampler": func(o Options, w io.Writer) error {
+			r, err := AblationSampler(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		},
+		"ablate-searcher": func(o Options, w io.Writer) error {
+			r, err := AblationSearcher(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		},
+		"ablate-platform": func(o Options, w io.Writer) error {
+			r, err := AblationPlatform(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		},
+	}
+}
+
+// Names returns the registered experiment ids in order.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes one experiment by id.
+func Run(id string, opts Options, w io.Writer) error {
+	runner, ok := Registry()[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, Names())
+	}
+	return runner(opts, w)
+}
+
+// RunAll executes every experiment in a stable order.
+func RunAll(opts Options, w io.Writer) error {
+	for _, id := range []string{"fig1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1"} {
+		fmt.Fprintf(w, "==== %s ====\n", id)
+		if err := Run(id, opts, w); err != nil {
+			return fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/hetscale"
+	"repro/internal/sparse"
+)
+
+// scaleFreeSearcher is the paper's Identify strategy for HH-CPU
+// ("a gradient descent based approach").
+func scaleFreeSearcher() core.Searcher { return core.GradientDescent{} }
+
+// Fig8Result holds the scale-free SpMM comparison of Fig. 8(a)+(b).
+type Fig8Result struct {
+	Rows []CaseRow
+}
+
+// Fig8 reproduces the HH-CPU case study over the paper's scale-free
+// subset of Table II. Thresholds here are row-density counts, so the
+// threshold-difference column is normalized by each input's density
+// range.
+func Fig8(opts Options) (*Fig8Result, error) {
+	o := opts.withDefaults()
+	alg := hetscale.NewAlgorithm(o.Platform)
+	var ds []datasets.Dataset
+	for _, d := range datasets.ScaleFreeSet() {
+		if o.wants(d.Name) {
+			ds = append(ds, d)
+		}
+	}
+	rows, err := forEach(ds, func(d datasets.Dataset) (CaseRow, error) {
+		m, err := d.Matrix()
+		if err != nil {
+			return CaseRow{}, err
+		}
+		w, err := hetscale.NewWorkload(d.Name, m, alg)
+		if err != nil {
+			return CaseRow{}, err
+		}
+		return scaleFreeCase(d.Name, w, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	bests := make([]float64, len(rows))
+	for i, r := range rows {
+		bests[i] = r.Exhaustive
+	}
+	avg := core.NaiveAverage(bests)
+	for i := range rows {
+		rows[i].NaiveAverage = avg
+	}
+	return &Fig8Result{Rows: rows}, nil
+}
+
+func scaleFreeCase(name string, w *hetscale.Workload, o Options) (CaseRow, error) {
+	best, err := core.ExhaustiveBest(w, core.Config{})
+	if err != nil {
+		return CaseRow{}, fmt.Errorf("fig8 %s exhaustive: %w", name, err)
+	}
+	est, err := core.EstimateThreshold(w, core.Config{
+		Searcher: scaleFreeSearcher(),
+		Seed:     o.Seed ^ hashName(name),
+		Repeats:  o.Repeats,
+	})
+	if err != nil {
+		return CaseRow{}, fmt.Errorf("fig8 %s estimate: %w", name, err)
+	}
+	estTime, err := w.Evaluate(est.Threshold)
+	if err != nil {
+		return CaseRow{}, err
+	}
+	gpuOnly, err := w.Evaluate(0) // t=0: every row is "dense"? no — t=0 sends all rows with nnz>0 to the CPU
+	if err != nil {
+		return CaseRow{}, err
+	}
+	_, hi := w.ThresholdRange()
+	diffPct := 0.0
+	if hi > 0 {
+		diffPct = 100 * math.Abs(est.Threshold-best.Best) / hi
+	}
+	// NaiveStatic for a density threshold: the density quantile that
+	// sends the FLOPS-ratio share of the work to the CPU.
+	static := staticDensityThreshold(w, o)
+	row := CaseRow{
+		Dataset:          name,
+		Exhaustive:       best.Best,
+		Estimated:        est.Threshold,
+		NaiveStatic:      static,
+		ThresholdDiffPct: diffPct,
+		ExhaustiveTime:   best.BestTime,
+		EstimatedTime:    estTime,
+		NaiveTime:        gpuOnly,
+		TimeDiffPct:      100 * (float64(estTime)/float64(best.BestTime) - 1),
+		SearchCost:       best.Cost,
+	}
+	row.OverheadPct = 100 * float64(est.Overhead()) / float64(est.Overhead()+estTime)
+	return row, nil
+}
+
+// staticDensityThreshold finds the density threshold assigning the
+// NaiveStatic work share to the CPU via bisection over the profile.
+func staticDensityThreshold(w *hetscale.Workload, o Options) float64 {
+	share := o.Platform.StaticCPUShare()
+	_, hi := w.ThresholdRange()
+	p := w.Profile()
+	total := float64(p.TotalWork())
+	lo, hiT := 0.0, hi
+	for i := 0; i < 40; i++ {
+		mid := (lo + hiT) / 2
+		if cpuWorkShare(p, mid, total) > share {
+			lo = mid // too much CPU work: raise the threshold
+		} else {
+			hiT = mid
+		}
+	}
+	return math.Round(lo)
+}
+
+func cpuWorkShare(p *hetscale.Profile, t, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(p.CPUWorkAt(t)) / total
+}
+
+// Render writes the figure as text.
+func (r *Fig8Result) Render(w io.Writer) {
+	renderCaseRows(w, "Fig. 8 — scale-free SpMM (HH-CPU): estimated density threshold vs exhaustive", r.Rows)
+}
+
+// Fig9Result holds the scale-free sample-size sensitivity study.
+type Fig9Result struct {
+	Series []SensitivitySeries
+}
+
+// Fig9 reproduces the HH-CPU sensitivity study: sampled row counts
+// √n/4 … 4√n, total time near-concave with the minimum around √n.
+func Fig9(opts Options) (*Fig9Result, error) {
+	o := opts.withDefaults()
+	names := o.Names
+	if len(names) == 0 {
+		names = []string{"web-BerkStan", "cant"}
+	}
+	alg := hetscale.NewAlgorithm(o.Platform)
+	series, err := forEach(names, func(name string) (SensitivitySeries, error) {
+		d, err := datasets.ByName(name)
+		if err != nil {
+			return SensitivitySeries{}, err
+		}
+		m, err := d.Matrix()
+		if err != nil {
+			return SensitivitySeries{}, err
+		}
+		return scaleFreeSensitivity(name, m, alg, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig9Result{Series: series}, nil
+}
+
+func scaleFreeSensitivity(name string, m *sparse.CSR, alg *hetscale.Algorithm, o Options) (SensitivitySeries, error) {
+	s := SensitivitySeries{Dataset: name}
+	root := math.Sqrt(float64(m.Rows))
+	for _, step := range SampleSizeLadder {
+		size := int(step.Factor * root)
+		if size < 2 {
+			size = 2
+		}
+		w, err := hetscale.NewWorkload(name, m, alg)
+		if err != nil {
+			return s, err
+		}
+		w.SampleRows = size
+		est, err := core.EstimateThreshold(w, core.Config{
+			Searcher: scaleFreeSearcher(),
+			Seed:     o.Seed ^ hashName(name) ^ uint64(size),
+			Repeats:  o.Repeats,
+		})
+		if err != nil {
+			return s, fmt.Errorf("fig9 %s size %d: %w", name, size, err)
+		}
+		runTime, err := w.Evaluate(est.Threshold)
+		if err != nil {
+			return s, err
+		}
+		s.Points = append(s.Points, SensitivityPoint{
+			Label:          step.Label,
+			SampleSize:     size,
+			EstimationTime: est.Overhead(),
+			TotalTime:      est.Overhead() + runTime,
+			Threshold:      est.Threshold,
+		})
+	}
+	return s, nil
+}
+
+// Render writes the figure as text.
+func (r *Fig9Result) Render(w io.Writer) {
+	renderSensitivity(w, "Fig. 9 — scale-free SpMM: sample size vs estimation and total time", r.Series)
+}

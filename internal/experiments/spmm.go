@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/hetspmm"
+	"repro/internal/sparse"
+)
+
+// spmmSearcher is the paper's Identify strategy for SpMM: a race-based
+// coarse estimate refined by a ±5 fine sweep.
+func spmmSearcher() core.Searcher { return core.RaceThenFine{Window: 4} }
+
+// Fig5Result holds the SpMM split comparison of Fig. 5(a)+(b).
+type Fig5Result struct {
+	Rows []CaseRow
+}
+
+// Fig5 reproduces the unstructured-SpMM case study over the Table II
+// matrices (A×A), comparing the sampling-estimated split percentage
+// against the exhaustive optimum, NaiveStatic, and NaiveAverage.
+func Fig5(opts Options) (*Fig5Result, error) {
+	o := opts.withDefaults()
+	alg := hetspmm.NewAlgorithm(o.Platform)
+	var ds []datasets.Dataset
+	for _, d := range datasets.All() {
+		if o.wants(d.Name) {
+			ds = append(ds, d)
+		}
+	}
+	rows, err := forEach(ds, func(d datasets.Dataset) (CaseRow, error) {
+		m, err := d.Matrix()
+		if err != nil {
+			return CaseRow{}, err
+		}
+		w, err := hetspmm.NewWorkload(d.Name, m, alg)
+		if err != nil {
+			return CaseRow{}, err
+		}
+		return spmmCase(d.Name, w, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	bests := make([]float64, len(rows))
+	for i, r := range rows {
+		bests[i] = r.Exhaustive
+	}
+	avg := core.NaiveAverage(bests)
+	for i := range rows {
+		rows[i].NaiveAverage = avg
+	}
+	return &Fig5Result{Rows: rows}, nil
+}
+
+func spmmCase(name string, w *hetspmm.Workload, o Options) (CaseRow, error) {
+	best, err := core.ExhaustiveBest(w, core.Config{})
+	if err != nil {
+		return CaseRow{}, fmt.Errorf("fig5 %s exhaustive: %w", name, err)
+	}
+	est, err := core.EstimateThreshold(w, core.Config{
+		Searcher: spmmSearcher(),
+		Seed:     o.Seed ^ hashName(name),
+		Repeats:  o.Repeats,
+	})
+	if err != nil {
+		return CaseRow{}, fmt.Errorf("fig5 %s estimate: %w", name, err)
+	}
+	estTime, err := w.Evaluate(est.Threshold)
+	if err != nil {
+		return CaseRow{}, err
+	}
+	gpuOnly, err := w.Evaluate(0)
+	if err != nil {
+		return CaseRow{}, err
+	}
+	row := CaseRow{
+		Dataset:          name,
+		Exhaustive:       best.Best,
+		Estimated:        est.Threshold,
+		NaiveStatic:      100 * o.Platform.StaticCPUShare(),
+		ThresholdDiffPct: math.Abs(est.Threshold - best.Best),
+		ExhaustiveTime:   best.BestTime,
+		EstimatedTime:    estTime,
+		NaiveTime:        gpuOnly,
+		TimeDiffPct:      100 * (float64(estTime)/float64(best.BestTime) - 1),
+		SearchCost:       best.Cost,
+	}
+	row.OverheadPct = 100 * float64(est.Overhead()) / float64(est.Overhead()+estTime)
+	return row, nil
+}
+
+// Render writes the figure as text.
+func (r *Fig5Result) Render(w io.Writer) {
+	renderCaseRows(w, "Fig. 5 — SpMM: sampling-estimated split % vs exhaustive search", r.Rows)
+}
+
+// Fig6Result holds the SpMM sample-size sensitivity study.
+type Fig6Result struct {
+	Series []SensitivitySeries
+}
+
+// Fig6 reproduces the SpMM sensitivity study: the sample dimension
+// varies from n/10 to 4n/10 and the total time is near-concave with a
+// workable minimum around n/4 (the paper's chosen K).
+func Fig6(opts Options) (*Fig6Result, error) {
+	o := opts.withDefaults()
+	names := o.Names
+	if len(names) == 0 {
+		names = []string{"cant", "web-BerkStan"}
+	}
+	alg := hetspmm.NewAlgorithm(o.Platform)
+	series, err := forEach(names, func(name string) (SensitivitySeries, error) {
+		d, err := datasets.ByName(name)
+		if err != nil {
+			return SensitivitySeries{}, err
+		}
+		m, err := d.Matrix()
+		if err != nil {
+			return SensitivitySeries{}, err
+		}
+		return spmmSensitivity(name, m, alg, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6Result{Series: series}, nil
+}
+
+func spmmSensitivity(name string, m *sparse.CSR, alg *hetspmm.Algorithm, o Options) (SensitivitySeries, error) {
+	s := SensitivitySeries{Dataset: name}
+	// The paper's Fig. 6 ladder: sample dimensions n/10 … 4n/10.
+	ladder := []struct {
+		label string
+		size  func(n int) int
+	}{
+		{"n/10", func(n int) int { return n / 10 }},
+		{"n/5", func(n int) int { return n / 5 }},
+		{"n/4", func(n int) int { return n / 4 }},
+		{"3n/10", func(n int) int { return 3 * n / 10 }},
+		{"4n/10", func(n int) int { return 4 * n / 10 }},
+	}
+	for _, step := range ladder {
+		size := step.size(m.Rows)
+		if size < 1 {
+			size = 1
+		}
+		w, err := hetspmm.NewWorkload(name, m, alg)
+		if err != nil {
+			return s, err
+		}
+		// Express the sample size through the divisor interface.
+		w.SampleDivisor = m.Rows / size
+		if w.SampleDivisor < 1 {
+			w.SampleDivisor = 1
+		}
+		est, err := core.EstimateThreshold(w, core.Config{
+			Searcher: spmmSearcher(),
+			Seed:     o.Seed ^ hashName(name) ^ uint64(size),
+			Repeats:  o.Repeats,
+		})
+		if err != nil {
+			return s, fmt.Errorf("fig6 %s size %d: %w", name, size, err)
+		}
+		runTime, err := w.Evaluate(est.Threshold)
+		if err != nil {
+			return s, err
+		}
+		s.Points = append(s.Points, SensitivityPoint{
+			Label:          step.label,
+			SampleSize:     size,
+			EstimationTime: est.Overhead(),
+			TotalTime:      est.Overhead() + runTime,
+			Threshold:      est.Threshold,
+		})
+	}
+	return s, nil
+}
+
+// Render writes the figure as text.
+func (r *Fig6Result) Render(w io.Writer) {
+	renderSensitivity(w, "Fig. 6 — SpMM: sample size vs estimation and total time", r.Series)
+}
+
+// Fig7Row compares one sampling strategy's estimate on one matrix.
+type Fig7Row struct {
+	Dataset  string
+	Strategy string // "random" or "block k"
+	// Estimated is the split percentage obtained from this sample.
+	Estimated float64
+	// Exhaustive is the true optimum of the full input.
+	Exhaustive float64
+	// TimeAtEstimate is the full-input duration using Estimated.
+	TimeAtEstimate time.Duration
+}
+
+// Fig7Result holds the role-of-randomness study.
+type Fig7Result struct {
+	Rows []Fig7Row
+}
+
+// Fig7 reproduces the role-of-randomness experiment: the SpMM split is
+// estimated from four predetermined n/4 × n/4 blocks of A and from a
+// random sample; predetermined samples inherit local structure and
+// give biased estimates ("predetermined samples tend to be inaccurate
+// in estimating the work partition threshold").
+func Fig7(opts Options) (*Fig7Result, error) {
+	o := opts.withDefaults()
+	names := o.Names
+	// The paper shows cant and cop20k; web-BerkStan is added because
+	// its clustered hub rows make the predetermined-block bias vivid.
+	if len(names) == 0 {
+		names = []string{"cant", "cop20k_A", "web-BerkStan"}
+	}
+	alg := hetspmm.NewAlgorithm(o.Platform)
+	res := &Fig7Result{}
+	for _, name := range names {
+		d, err := datasets.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		m, err := d.Matrix()
+		if err != nil {
+			return nil, err
+		}
+		w, err := hetspmm.NewWorkload(name, m, alg)
+		if err != nil {
+			return nil, err
+		}
+		best, err := core.ExhaustiveBest(w, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		add := func(strategy string, estimate float64) error {
+			t, err := w.Evaluate(estimate)
+			if err != nil {
+				return err
+			}
+			res.Rows = append(res.Rows, Fig7Row{
+				Dataset: name, Strategy: strategy,
+				Estimated: estimate, Exhaustive: best.Best,
+				TimeAtEstimate: t,
+			})
+			return nil
+		}
+		// Random sample estimate (the framework's default).
+		est, err := core.EstimateThreshold(w, core.Config{
+			Searcher: spmmSearcher(),
+			Seed:     o.Seed ^ hashName(name),
+			Repeats:  o.Repeats,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := add("random", est.Threshold); err != nil {
+			return nil, err
+		}
+		// Four predetermined blocks: the corners of A.
+		size := m.Rows / 4
+		if size < 1 {
+			size = 1
+		}
+		half := m.Rows / 2
+		for k, off := range [][2]int{{0, 0}, {0, half}, {half, 0}, {half, half}} {
+			block, err := sparse.BlockSubmatrix(m, off[0], off[1], size)
+			if err != nil {
+				return nil, err
+			}
+			bw, err := hetspmm.NewWorkload(fmt.Sprintf("%s-block%d", name, k), block, alg)
+			if err != nil {
+				return nil, err
+			}
+			sr, err := spmmSearcher().Search(bw, 0, 100)
+			if err != nil {
+				return nil, err
+			}
+			if err := add(fmt.Sprintf("block %d", k+1), sr.Best); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render writes the figure as text.
+func (r *Fig7Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 7 — role of randomness: random vs predetermined samples (SpMM)")
+	fmt.Fprintf(w, "%-12s %-10s %10s %10s %8s %14s\n",
+		"dataset", "strategy", "estimated", "exhaustive", "|Δ|", "time@estimate")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s %-10s %10.1f %10.1f %8.1f %14v\n",
+			row.Dataset, row.Strategy, row.Estimated, row.Exhaustive,
+			math.Abs(row.Estimated-row.Exhaustive), row.TimeAtEstimate.Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,234 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// GenKind selects a synthetic graph family; each mirrors one group of
+// the paper's Table II graphs.
+type GenKind int
+
+// Graph generator kinds.
+const (
+	// KindGNM is the Erdős–Rényi G(n, m) model: m edges drawn
+	// uniformly at random. Matches the "unstructured" matrices when
+	// viewed as graphs.
+	KindGNM GenKind = iota
+	// KindRMAT is the recursive-matrix (Kronecker) model producing
+	// skewed, web-like degree distributions (web-BerkStan,
+	// webbase-1M).
+	KindRMAT
+	// KindRoad is a 2-D grid with perturbations: huge diameter, tiny
+	// degrees (asia_osm, germany_osm, italy_osm, netherlands_osm).
+	KindRoad
+	// KindMesh is a near-regular random geometric-style mesh akin to
+	// the FEM matrices and delaunay_n22 viewed as graphs.
+	KindMesh
+)
+
+func (k GenKind) String() string {
+	switch k {
+	case KindGNM:
+		return "gnm"
+	case KindRMAT:
+		return "rmat"
+	case KindRoad:
+		return "road"
+	case KindMesh:
+		return "mesh"
+	}
+	return "unknown"
+}
+
+// GenGraphConfig configures Generate.
+type GenGraphConfig struct {
+	Kind GenKind
+	N    int
+	M    int // target undirected edge count
+
+	// RMAT partition probabilities; defaults to the standard
+	// (0.57, 0.19, 0.19, 0.05).
+	A, B, C float64
+
+	Seed uint64
+}
+
+// Generate builds a synthetic graph per cfg.
+func Generate(cfg GenGraphConfig) (*Graph, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("graph: Generate with n=%d", cfg.N)
+	}
+	r := xrand.New(cfg.Seed)
+	var g *Graph
+	var err error
+	switch cfg.Kind {
+	case KindGNM:
+		g, err = genGNM(r, cfg)
+	case KindRMAT:
+		g, err = genRMAT(r, cfg)
+	case KindRoad:
+		g, err = genRoad(r, cfg)
+	case KindMesh:
+		g, err = genMesh(r, cfg)
+	default:
+		return nil, fmt.Errorf("graph: unknown kind %v", cfg.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: generator produced invalid graph: %w", err)
+	}
+	return g, nil
+}
+
+func genGNM(r *xrand.Rand, cfg GenGraphConfig) (*Graph, error) {
+	maxM := int64(cfg.N) * int64(cfg.N-1) / 2
+	if int64(cfg.M) > maxM {
+		return nil, fmt.Errorf("graph: G(n,m) with m=%d > max %d", cfg.M, maxM)
+	}
+	edges := make([]Edge, 0, cfg.M)
+	seen := make(map[uint64]struct{}, cfg.M)
+	for len(edges) < cfg.M {
+		u := int32(r.Intn(cfg.N))
+		v := int32(r.Intn(cfg.N))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(uint32(v))
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		edges = append(edges, Edge{u, v})
+	}
+	return FromEdges(cfg.N, edges)
+}
+
+func genRMAT(r *xrand.Rand, cfg GenGraphConfig) (*Graph, error) {
+	a, b, c := cfg.A, cfg.B, cfg.C
+	if a == 0 && b == 0 && c == 0 {
+		a, b, c = 0.57, 0.19, 0.19
+	}
+	if a+b+c >= 1 {
+		return nil, fmt.Errorf("graph: RMAT probabilities sum %v >= 1", a+b+c)
+	}
+	levels := 0
+	for (1 << levels) < cfg.N {
+		levels++
+	}
+	size := 1 << levels
+	edges := make([]Edge, 0, cfg.M)
+	// Oversample: RMAT produces duplicates and out-of-range ids when
+	// n is not a power of two; retry until the target count is met,
+	// with a bound to guarantee termination on dense requests.
+	seen := make(map[uint64]struct{}, cfg.M)
+	attempts := 0
+	maxAttempts := 20*cfg.M + 1000
+	for len(edges) < cfg.M && attempts < maxAttempts {
+		attempts++
+		u, v := 0, 0
+		half := size / 2
+		for half > 0 {
+			p := r.Float64()
+			switch {
+			case p < a: // top-left
+			case p < a+b: // top-right
+				v += half
+			case p < a+b+c: // bottom-left
+				u += half
+			default: // bottom-right
+				u += half
+				v += half
+			}
+			half /= 2
+		}
+		if u >= cfg.N || v >= cfg.N || u == v {
+			continue
+		}
+		uu, vv := int32(u), int32(v)
+		if uu > vv {
+			uu, vv = vv, uu
+		}
+		key := uint64(uu)<<32 | uint64(uint32(vv))
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		edges = append(edges, Edge{uu, vv})
+	}
+	// Relabel vertices with a random permutation: raw RMAT places the
+	// hubs at low ids, which would make a prefix-based work partition
+	// degenerate in a way real crawl-ordered web graphs are not.
+	perm := r.Perm(cfg.N)
+	for i := range edges {
+		edges[i].U = int32(perm[edges[i].U])
+		edges[i].V = int32(perm[edges[i].V])
+	}
+	return FromEdges(cfg.N, edges)
+}
+
+func genRoad(r *xrand.Rand, cfg GenGraphConfig) (*Graph, error) {
+	n := cfg.N
+	side := int(math.Sqrt(float64(n)))
+	if side < 2 {
+		side = 2
+	}
+	edges := make([]Edge, 0, 2*n)
+	add := func(u, v int) {
+		if u >= 0 && v >= 0 && u < n && v < n && u != v {
+			edges = append(edges, Edge{int32(u), int32(v)})
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := i / side
+		// Drop ~8% of grid links to create dead ends and detours,
+		// as real road networks have.
+		if r.Float64() > 0.08 {
+			add(i, i+1)
+		}
+		if row > 0 && r.Float64() > 0.08 {
+			add(i, i-side)
+		}
+	}
+	// Highways: a few long-range shortcuts.
+	for k := 0; k < n/100+1; k++ {
+		add(r.Intn(n), r.Intn(n))
+	}
+	return FromEdges(n, edges)
+}
+
+func genMesh(r *xrand.Rand, cfg GenGraphConfig) (*Graph, error) {
+	// Ring + k nearest random neighbors within a window: near-regular
+	// degrees with local structure, like an FEM discretization.
+	n := cfg.N
+	per := 2
+	if cfg.M > 0 {
+		per = cfg.M / n
+		if per < 1 {
+			per = 1
+		}
+	}
+	window := 3 * per
+	if window < 4 {
+		window = 4
+	}
+	edges := make([]Edge, 0, n*per)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{int32(i), int32((i + 1) % n)})
+		for k := 1; k < per; k++ {
+			off := 2 + r.Intn(window)
+			j := (i + off) % n
+			if j != i {
+				edges = append(edges, Edge{int32(i), int32(j)})
+			}
+		}
+	}
+	return FromEdges(n, edges)
+}

@@ -1,0 +1,301 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// pathGraph builds the path 0-1-2-...-n-1.
+func pathGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, Edge{int32(i), int32(i + 1)})
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFromEdgesBasic(t *testing.T) {
+	g, err := FromEdges(4, []Edge{{0, 1}, {1, 2}, {1, 2}, {3, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(1) != 2 {
+		t.Fatalf("degree(1) = %d", g.Degree(1))
+	}
+	if !g.HasEdge(2, 1) || g.HasEdge(0, 2) {
+		t.Fatal("HasEdge wrong")
+	}
+	if !g.HasEdge(3, 3) {
+		t.Fatal("self loop lost")
+	}
+	// 2 distinct proper edges + 1 loop.
+	if g.M() != 3 {
+		t.Fatalf("M() = %d, want 3", g.M())
+	}
+	if g.Arcs() != 5 {
+		t.Fatalf("Arcs() = %d, want 5", g.Arcs())
+	}
+}
+
+func TestFromEdgesErrors(t *testing.T) {
+	if _, err := FromEdges(2, []Edge{{0, 2}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := FromEdges(2, []Edge{{-1, 0}}); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+}
+
+func TestFromCSR(t *testing.T) {
+	m, err := sparse.Generate(sparse.GenConfig{Class: sparse.ClassUniform, Rows: 50, Cols: 50, NNZ: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromCSR(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every stored matrix entry must be represented as an edge.
+	for i := 0; i < m.Rows; i++ {
+		cols, _ := m.Row(i)
+		for _, j := range cols {
+			if !g.HasEdge(i, int(j)) {
+				t.Fatalf("matrix entry (%d,%d) missing from graph", i, j)
+			}
+		}
+	}
+	rect, _ := sparse.FromTriplets(2, 3, []int32{0}, []int32{2}, nil)
+	if _, err := FromCSR(rect); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	// Path 0-1-2-3-4; sample {0, 1, 3}: edge (0,1) survives, 3 isolated.
+	g := pathGraph(t, 5)
+	sub, ids, err := g.InducedSubgraph([]int{3, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.N != 3 {
+		t.Fatalf("subgraph N = %d", sub.N)
+	}
+	if ids[0] != 0 || ids[1] != 1 || ids[2] != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if !sub.HasEdge(0, 1) {
+		t.Error("surviving edge (0,1) lost")
+	}
+	if sub.Degree(2) != 0 {
+		t.Error("vertex 3 should be isolated in sample")
+	}
+	// Duplicates are collapsed.
+	sub2, ids2, err := g.InducedSubgraph([]int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub2.N != 1 || len(ids2) != 1 {
+		t.Fatalf("dedup failed: N=%d ids=%v", sub2.N, ids2)
+	}
+	if _, _, err := g.InducedSubgraph([]int{99}); err == nil {
+		t.Error("out-of-range sample vertex accepted")
+	}
+}
+
+func TestInducedSubgraphPreservesEdges(t *testing.T) {
+	g, err := Generate(GenGraphConfig{Kind: KindGNM, N: 200, M: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(4)
+	s := g.SampleVertices(r, 60)
+	sub, ids, err := g.InducedSubgraph(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An edge exists in the sample iff it exists between the original
+	// vertices.
+	for i := 0; i < sub.N; i++ {
+		for j := 0; j < sub.N; j++ {
+			if sub.HasEdge(i, j) != g.HasEdge(ids[i], ids[j]) {
+				t.Fatalf("induced edge mismatch at sample pair (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSampleVertices(t *testing.T) {
+	g := pathGraph(t, 10)
+	r := xrand.New(5)
+	if got := g.SampleVertices(r, 0); got != nil {
+		t.Errorf("k=0 gave %v", got)
+	}
+	if got := g.SampleVertices(r, 100); len(got) != 10 {
+		t.Errorf("clamping failed: %d vertices", len(got))
+	}
+	s := g.SampleVertices(r, 4)
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad sample %v", s)
+		}
+		seen[v] = true
+	}
+}
+
+func TestGenerateKinds(t *testing.T) {
+	for _, kind := range []GenKind{KindGNM, KindRMAT, KindRoad, KindMesh} {
+		g, err := Generate(GenGraphConfig{Kind: kind, N: 600, M: 2000, Seed: 7})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if g.N != 600 {
+			t.Fatalf("%v: N = %d", kind, g.N)
+		}
+		if g.Arcs() == 0 {
+			t.Fatalf("%v: empty graph", kind)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenGraphConfig{Kind: KindGNM, N: 0, M: 1}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Generate(GenGraphConfig{Kind: KindGNM, N: 3, M: 100}); err == nil {
+		t.Error("m > max accepted")
+	}
+	if _, err := Generate(GenGraphConfig{Kind: GenKind(42), N: 3, M: 1}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Generate(GenGraphConfig{Kind: KindRMAT, N: 8, M: 4, A: 0.9, B: 0.1, C: 0.1}); err == nil {
+		t.Error("bad RMAT probabilities accepted")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := GenGraphConfig{Kind: KindRMAT, N: 300, M: 1200, Seed: 9}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Arcs() != b.Arcs() {
+		t.Fatal("same seed, different graphs")
+	}
+	for i := range a.Adj {
+		if a.Adj[i] != b.Adj[i] {
+			t.Fatal("same seed, different adjacency")
+		}
+	}
+}
+
+func TestGNMEdgeCount(t *testing.T) {
+	g, err := Generate(GenGraphConfig{Kind: KindGNM, N: 500, M: 3000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 3000 {
+		t.Fatalf("G(n,m) edge count = %d, want 3000", g.M())
+	}
+}
+
+func TestRMATIsSkewed(t *testing.T) {
+	g, err := Generate(GenGraphConfig{Kind: KindRMAT, N: 2048, M: 16000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := 0
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(g.Arcs()) / float64(g.N)
+	if float64(maxDeg) < 5*avg {
+		t.Errorf("RMAT max degree %d not skewed vs avg %.1f", maxDeg, avg)
+	}
+	if g.DegreeCV() < 0.5 {
+		t.Errorf("RMAT degree CV = %v, want skewed", g.DegreeCV())
+	}
+}
+
+func TestRoadIsLowDegree(t *testing.T) {
+	g, err := Generate(GenGraphConfig{Kind: KindRoad, N: 2500, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := 0
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg > 12 {
+		t.Errorf("road max degree = %d", maxDeg)
+	}
+	if g.DegreeCV() > 0.8 {
+		t.Errorf("road degree CV = %v, want near-regular", g.DegreeCV())
+	}
+}
+
+func TestDegreeCVRegularVsSkewed(t *testing.T) {
+	mesh, err := Generate(GenGraphConfig{Kind: KindMesh, N: 1000, M: 4000, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmat, err := Generate(GenGraphConfig{Kind: KindRMAT, N: 1024, M: 4000, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mesh.DegreeCV() >= rmat.DegreeCV() {
+		t.Errorf("mesh CV %v should be below rmat CV %v", mesh.DegreeCV(), rmat.DegreeCV())
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	g := pathGraph(t, 3)
+	// Corrupt: remove one direction of an edge by truncating vertex 2's list.
+	g.Adj[g.RowPtr[2]] = 2 // self loop replaces (2,1)
+	if err := g.Validate(); err == nil {
+		t.Error("asymmetric adjacency not caught")
+	}
+}
+
+func TestInducedSubgraphProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := Generate(GenGraphConfig{Kind: KindGNM, N: 120, M: 400, Seed: seed})
+		if err != nil {
+			return false
+		}
+		r := xrand.New(seed ^ 0xabcd)
+		sub, _, err := g.InducedSubgraph(g.SampleVertices(r, 30))
+		if err != nil {
+			return false
+		}
+		return sub.Validate() == nil && sub.N == 30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package hetcc implements the paper's Algorithm 1: heterogeneous
+// connected components on a CPU+GPU platform, following Banerjee and
+// Kothapalli's hybrid CC design.
+//
+// Phase I partitions the vertex set by a threshold t ∈ [0, 100]: the
+// first n·t/100 vertices (and the edges among them) form G_CPU, the
+// rest form G_GPU; edges with one endpoint on each side are cross
+// edges. Phase II finds components of G_CPU on the CPU (partitioned
+// multi-threaded DFS) and of G_GPU on the GPU (Shiloach–Vishkin),
+// overlapped; the cross edges then merge the two labelings.
+//
+// All algorithms execute for real; the package charges simulated time
+// for each phase through the hetsim device models using the work the
+// algorithms actually performed (arcs scanned, SV rounds, bytes
+// moved). The sampling adapter (Workload) plugs the whole thing into
+// the core partitioning framework.
+package hetcc
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/hetsim"
+)
+
+// Algorithm holds the execution configuration for heterogeneous CC.
+type Algorithm struct {
+	Platform *hetsim.Platform
+	// CPUThreads is c, the number of CPU worker threads Phase I
+	// divides G_CPU across. Defaults to the platform's core count.
+	CPUThreads int
+}
+
+// NewAlgorithm returns an Algorithm on the given platform.
+func NewAlgorithm(p *hetsim.Platform) *Algorithm {
+	return &Algorithm{Platform: p, CPUThreads: p.CPU.Spec.Cores}
+}
+
+func (a *Algorithm) threads() int {
+	if a.CPUThreads > 0 {
+		return a.CPUThreads
+	}
+	return a.Platform.CPU.Spec.Cores
+}
+
+// Result is the outcome of one heterogeneous CC run.
+type Result struct {
+	// Labels assigns each vertex its component's minimum vertex id.
+	Labels []int32
+	// Components is the number of connected components of G.
+	Components int
+	// Time is the simulated wall-clock duration of the run
+	// (partition + overlapped compute + merge + transfers).
+	Time time.Duration
+	// CPUTime and GPUTime are the per-device phase durations that
+	// were overlapped.
+	CPUTime, GPUTime time.Duration
+	// CrossEdges is the number of edges spanning the two partitions.
+	CrossEdges int64
+	// Trace is the per-phase timeline.
+	Trace hetsim.Trace
+}
+
+// Run executes Algorithm 1 on g with threshold t (the percentage of
+// vertices assigned to the CPU).
+func (a *Algorithm) Run(g *graph.Graph, t float64) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("hetcc: nil graph")
+	}
+	if t < 0 || t > 100 {
+		return nil, fmt.Errorf("hetcc: threshold %v outside [0, 100]", t)
+	}
+	nCPU := int(float64(g.N) * t / 100)
+	res := &Result{}
+
+	// --- Phase I: partition -------------------------------------------
+	// Splitting the CSR structure scans every vertex and arc once on
+	// the CPU (memory-bound streaming pass).
+	gCPU, gGPU, cross, err := partition(g, nCPU)
+	if err != nil {
+		return nil, err
+	}
+	res.CrossEdges = int64(len(cross))
+	partKernel := hetsim.Kernel{
+		Name:             "partition",
+		Ops:              int64(g.N) + int64(g.Arcs()),
+		Bytes:            8 * int64(g.Arcs()),
+		Launches:         1,
+		ParallelFraction: 0.9,
+	}
+	partTime := a.Platform.CPU.Time(partKernel)
+	res.Trace.Add(hetsim.PhasePartition, "cpu", partTime)
+
+	// --- Phase II: overlapped heterogeneous compute -------------------
+	cpuRes := graph.ParallelCPU(gCPU, a.threads())
+	cpuTime := a.cpuTime(gCPU)
+	res.Trace.Add(hetsim.PhaseCompute, "cpu", cpuTime)
+
+	gpuRes := graph.ShiloachVishkin(gGPU)
+	transferIn := a.Platform.Link.Transfer(int64(4 * gGPU.Arcs()))
+	gpuTime := transferIn + a.gpuTime(gGPU, gpuRes)
+	res.Trace.Add(hetsim.PhaseTransfer, "link", transferIn)
+	res.Trace.Add(hetsim.PhaseCompute, "gpu", gpuTime-transferIn)
+
+	res.CPUTime, res.GPUTime = cpuTime, gpuTime
+
+	// --- Merge: cross edges unify the two labelings (on the GPU per
+	// the paper's line 9) -----------------------------------------------
+	labels := mergeLabels(g, nCPU, cpuRes, gpuRes, cross)
+	mergeKernel := hetsim.Kernel{
+		Name:             "merge",
+		Ops:              12 * int64(len(cross)), // finds + union per edge
+		Bytes:            8 * int64(len(cross)),
+		Launches:         1,
+		ParallelFraction: 1,   // lock-free parallel union-find
+		IrregularityCV:   1.0, // pointer chasing
+	}
+	mergeTime := a.Platform.GPU.Time(mergeKernel)
+	res.Trace.Add(hetsim.PhaseMerge, "gpu", mergeTime)
+	transferOut := a.Platform.Link.Transfer(4 * int64(g.N))
+	res.Trace.Add(hetsim.PhaseTransfer, "link", transferOut)
+
+	res.Labels = labels
+	res.Components = graph.NumComponents(labels)
+	res.Time = partTime + hetsim.Overlap(cpuTime, gpuTime) + mergeTime + transferOut
+	return res, nil
+}
+
+// cpuTime charges the partitioned multi-threaded DFS. The per-thread
+// parts are rebalanced dynamically (work stealing), so the DFS work is
+// charged as near-fully-parallel over the total arc count; the
+// cross-part label merge is a half-sequential union–find pass over
+// part-crossing arcs.
+func (a *Algorithm) cpuTime(gCPU *graph.Graph) time.Duration {
+	return ccCPUTime(a.Platform.CPU, a.threads(), gCPU)
+}
+
+// ccCPUTime is the device-parametric CPU cost of the partitioned
+// multi-threaded DFS; shared with the multi-accelerator variant.
+func ccCPUTime(dev *hetsim.Device, c int, gCPU *graph.Graph) time.Duration {
+	if gCPU.N == 0 {
+		return 0
+	}
+	var crossPart int64
+	for w := 0; w < c; w++ {
+		lo := w * gCPU.N / c
+		hi := (w + 1) * gCPU.N / c
+		// Arcs leaving the part must be reconciled by the merge
+		// pass.
+		for u := lo; u < hi; u++ {
+			for _, v := range gCPU.Neighbors(u) {
+				if int(v) < lo || int(v) >= hi {
+					crossPart++
+				}
+			}
+		}
+	}
+	// A DFS edge visit is a dependent-load chain (fetch neighbor,
+	// check label, branch, push): ~40 cycle-equivalent ops per arc
+	// once cache misses are amortized in.
+	const dfsOpsPerArc = 40
+	arcs := int64(gCPU.Arcs())
+	dfs := hetsim.Kernel{
+		Name:             "cc-dfs",
+		Ops:              dfsOpsPerArc * arcs,
+		Bytes:            9 * arcs, // adjacency + label touches
+		Launches:         c,
+		IrregularityCV:   gCPU.DegreeCV(),
+		ParallelFraction: 0.98,
+	}
+	merge := hetsim.Kernel{
+		Name:             "cc-cpu-merge",
+		Ops:              12 * crossPart,
+		Bytes:            8 * crossPart,
+		Launches:         1,
+		ParallelFraction: 0.5,
+	}
+	return dev.TimeAll(dfs, merge)
+}
+
+// gpuTime charges Shiloach–Vishkin from its measured counters: every
+// round launches a hooking kernel over the arcs and a jump kernel over
+// the vertices; divergence grows with the degree irregularity.
+func (a *Algorithm) gpuTime(gGPU *graph.Graph, r *graph.CCResult) time.Duration {
+	return ccGPUTime(a.Platform.GPU, gGPU, r)
+}
+
+// ccGPUTime is the device-parametric GPU cost of Shiloach–Vishkin;
+// shared with the multi-accelerator variant.
+func ccGPUTime(dev *hetsim.Device, gGPU *graph.Graph, r *graph.CCResult) time.Duration {
+	if gGPU.N == 0 {
+		return 0
+	}
+	k := hetsim.Kernel{
+		Name:             "cc-sv",
+		Ops:              2 * r.EdgesVisited,
+		Bytes:            10 * r.EdgesVisited,
+		Launches:         2 * r.Rounds,
+		ParallelFraction: 1, // per-kernel serialization is the launch latency
+
+		IrregularityCV: gGPU.DegreeCV(),
+	}
+	return dev.Time(k)
+}
+
+// partition splits g at vertex nCPU into G_CPU (vertices [0, nCPU)),
+// G_GPU (vertices [nCPU, n), renumbered from 0) and the cross-edge
+// list (in original vertex ids, u < nCPU <= v).
+func partition(g *graph.Graph, nCPU int) (gCPU, gGPU *graph.Graph, cross []graph.Edge, err error) {
+	if nCPU < 0 || nCPU > g.N {
+		return nil, nil, nil, fmt.Errorf("hetcc: split %d outside [0, %d]", nCPU, g.N)
+	}
+	nGPU := g.N - nCPU
+	cpuEdges := make([]graph.Edge, 0, 64)
+	gpuEdges := make([]graph.Edge, 0, 64)
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int32(u) > v {
+				continue // handle each undirected edge once
+			}
+			switch {
+			case int(v) < nCPU:
+				cpuEdges = append(cpuEdges, graph.Edge{U: int32(u), V: v})
+			case u >= nCPU:
+				gpuEdges = append(gpuEdges, graph.Edge{U: int32(u - nCPU), V: v - int32(nCPU)})
+			default:
+				cross = append(cross, graph.Edge{U: int32(u), V: v})
+			}
+		}
+	}
+	gCPU, err = graph.FromEdges(nCPU, cpuEdges)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	gGPU, err = graph.FromEdges(nGPU, gpuEdges)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return gCPU, gGPU, cross, nil
+}
+
+// mergeLabels combines the partition-local labelings into a global
+// one using a union–find over the cross edges, then canonicalizes to
+// minimum-vertex-id labels.
+func mergeLabels(g *graph.Graph, nCPU int, cpuRes, gpuRes *graph.CCResult, cross []graph.Edge) []int32 {
+	labels := make([]int32, g.N)
+	for v := 0; v < nCPU; v++ {
+		labels[v] = cpuRes.Labels[v]
+	}
+	for v := nCPU; v < g.N; v++ {
+		labels[v] = gpuRes.Labels[v-nCPU] + int32(nCPU)
+	}
+	uf := graph.NewUnionFind(g.N)
+	for _, e := range cross {
+		uf.Union(int(labels[e.U]), int(labels[e.V]))
+	}
+	for v := range labels {
+		labels[v] = int32(uf.Find(int(labels[v])))
+	}
+	// Canonicalize to the minimum vertex id per component.
+	minOf := make(map[int32]int32)
+	for v, l := range labels {
+		if cur, ok := minOf[l]; !ok || int32(v) < cur {
+			minOf[l] = int32(v)
+		}
+	}
+	for v := range labels {
+		labels[v] = minOf[labels[v]]
+	}
+	return labels
+}
+
+// RunGPUOnly is the paper's "Naive" homogeneous baseline: the whole
+// graph is shipped to the GPU and processed by Shiloach–Vishkin, with
+// no partitioning.
+func (a *Algorithm) RunGPUOnly(g *graph.Graph) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("hetcc: nil graph")
+	}
+	res := &Result{}
+	svRes := graph.ShiloachVishkin(g)
+	transferIn := a.Platform.Link.Transfer(int64(4 * g.Arcs()))
+	gpuTime := a.gpuTime(g, svRes)
+	transferOut := a.Platform.Link.Transfer(4 * int64(g.N))
+	res.Trace.Add(hetsim.PhaseTransfer, "link", transferIn+transferOut)
+	res.Trace.Add(hetsim.PhaseCompute, "gpu", gpuTime)
+	res.Labels = svRes.Labels
+	res.Components = svRes.Components
+	res.GPUTime = transferIn + gpuTime
+	res.Time = transferIn + gpuTime + transferOut
+	return res, nil
+}
+
+// DefaultSampleSize returns the paper's sample size for CC: √n.
+func DefaultSampleSize(n int) int {
+	k := int(math.Sqrt(float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}

@@ -1,0 +1,300 @@
+package hetcc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hetsim"
+	"repro/internal/xrand"
+)
+
+// MultiAlgorithm is the paper's Section II extension of Algorithm 1 to
+// platforms with more than two devices: the vertex set is split into
+// one contiguous range per device by a *vector* of share percentages,
+// each device finds the components of its subgraph concurrently, and
+// all cross edges merge the labelings.
+type MultiAlgorithm struct {
+	Platform   *hetsim.MultiPlatform
+	CPUThreads int
+}
+
+// NewMultiAlgorithm returns a MultiAlgorithm on the given platform.
+func NewMultiAlgorithm(p *hetsim.MultiPlatform) *MultiAlgorithm {
+	return &MultiAlgorithm{Platform: p, CPUThreads: p.CPU.Spec.Cores}
+}
+
+func (a *MultiAlgorithm) threads() int {
+	if a.CPUThreads > 0 {
+		return a.CPUThreads
+	}
+	return a.Platform.CPU.Spec.Cores
+}
+
+// MultiResult is the outcome of one multi-device CC run.
+type MultiResult struct {
+	Labels     []int32
+	Components int
+	// Time is the simulated wall-clock duration.
+	Time time.Duration
+	// DeviceTimes[0] is the CPU's phase duration; DeviceTimes[i] is
+	// accelerator i-1's (including its input transfer).
+	DeviceTimes []time.Duration
+	// CrossEdges spans all part boundaries.
+	CrossEdges int64
+	Trace      hetsim.Trace
+}
+
+// shares converts the threshold vector into per-device vertex shares
+// summing to 100: component i is device i's share; the last device
+// receives the remainder. Components are clamped so no share goes
+// negative.
+func (a *MultiAlgorithm) shares(t []float64) ([]float64, error) {
+	want := a.Platform.Devices() - 1
+	if len(t) != want {
+		return nil, fmt.Errorf("hetcc: threshold vector has %d components, want %d", len(t), want)
+	}
+	out := make([]float64, a.Platform.Devices())
+	remaining := 100.0
+	for i, v := range t {
+		if v < 0 || v > 100 {
+			return nil, fmt.Errorf("hetcc: threshold component %d = %v outside [0, 100]", i, v)
+		}
+		if v > remaining {
+			v = remaining
+		}
+		out[i] = v
+		remaining -= v
+	}
+	out[len(out)-1] = remaining
+	return out, nil
+}
+
+// Run executes multi-device CC with the given threshold vector.
+func (a *MultiAlgorithm) Run(g *graph.Graph, t []float64) (*MultiResult, error) {
+	if g == nil {
+		return nil, fmt.Errorf("hetcc: nil graph")
+	}
+	sh, err := a.shares(t)
+	if err != nil {
+		return nil, err
+	}
+	// Cut points in vertex space.
+	nDev := len(sh)
+	cuts := make([]int, nDev+1)
+	acc := 0.0
+	for i, s := range sh {
+		acc += s
+		cuts[i+1] = int(float64(g.N) * acc / 100)
+	}
+	cuts[nDev] = g.N
+
+	res := &MultiResult{DeviceTimes: make([]time.Duration, nDev)}
+
+	// Partition pass on the CPU.
+	partKernel := hetsim.Kernel{
+		Name:             "partition",
+		Ops:              int64(g.N) + int64(g.Arcs()),
+		Bytes:            8 * int64(g.Arcs()),
+		Launches:         1,
+		ParallelFraction: 0.9,
+	}
+	partTime := a.Platform.CPU.Time(partKernel)
+	res.Trace.Add(hetsim.PhasePartition, "cpu", partTime)
+
+	// Build per-device subgraphs and the global cross-edge list.
+	parts, cross, err := partitionMulti(g, cuts)
+	if err != nil {
+		return nil, err
+	}
+	res.CrossEdges = int64(len(cross))
+
+	// Per-device computation, overlapped.
+	results := make([]*graph.CCResult, nDev)
+	var wall time.Duration
+	for i, part := range parts {
+		var dt time.Duration
+		if i == 0 {
+			results[i] = graph.ParallelCPU(part, a.threads())
+			dt = ccCPUTime(a.Platform.CPU, a.threads(), part)
+			res.Trace.Add(hetsim.PhaseCompute, "cpu", dt)
+		} else {
+			results[i] = graph.ShiloachVishkin(part)
+			transferIn := a.Platform.Link.Transfer(int64(4 * part.Arcs()))
+			dt = transferIn + ccGPUTime(a.Platform.GPUs[i-1], part, results[i])
+			res.Trace.Add(hetsim.PhaseTransfer, "link", transferIn)
+			res.Trace.Add(hetsim.PhaseCompute, fmt.Sprintf("gpu%d", i-1), dt-transferIn)
+		}
+		res.DeviceTimes[i] = dt
+		wall = hetsim.Overlap(wall, dt)
+	}
+
+	// Merge all partial labelings over the cross edges (on the first
+	// accelerator, per Algorithm 1 line 9).
+	labels := mergeMulti(g, cuts, results, cross)
+	mergeDev := a.Platform.CPU
+	mergeTarget := "cpu"
+	if len(a.Platform.GPUs) > 0 {
+		mergeDev = a.Platform.GPUs[0]
+		mergeTarget = "gpu0"
+	}
+	mergeTime := mergeDev.Time(hetsim.Kernel{
+		Name:             "merge",
+		Ops:              12 * int64(len(cross)),
+		Bytes:            8 * int64(len(cross)),
+		Launches:         1,
+		ParallelFraction: 1,
+		IrregularityCV:   1.0,
+	})
+	res.Trace.Add(hetsim.PhaseMerge, mergeTarget, mergeTime)
+	transferOut := a.Platform.Link.Transfer(4 * int64(g.N))
+	res.Trace.Add(hetsim.PhaseTransfer, "link", transferOut)
+
+	res.Labels = labels
+	res.Components = graph.NumComponents(labels)
+	res.Time = partTime + wall + mergeTime + transferOut
+	return res, nil
+}
+
+// partitionMulti splits g into len(cuts)-1 contiguous vertex ranges
+// (each renumbered from 0) and returns the edges crossing any boundary
+// in original ids.
+func partitionMulti(g *graph.Graph, cuts []int) ([]*graph.Graph, []graph.Edge, error) {
+	nDev := len(cuts) - 1
+	partOf := func(v int) int {
+		for i := 1; i <= nDev; i++ {
+			if v < cuts[i] {
+				return i - 1
+			}
+		}
+		return nDev - 1
+	}
+	edgeLists := make([][]graph.Edge, nDev)
+	var cross []graph.Edge
+	for u := 0; u < g.N; u++ {
+		pu := partOf(u)
+		for _, v := range g.Neighbors(u) {
+			if int32(u) > v {
+				continue
+			}
+			pv := partOf(int(v))
+			if pu == pv {
+				edgeLists[pu] = append(edgeLists[pu], graph.Edge{
+					U: int32(u - cuts[pu]), V: v - int32(cuts[pu]),
+				})
+			} else {
+				cross = append(cross, graph.Edge{U: int32(u), V: v})
+			}
+		}
+	}
+	parts := make([]*graph.Graph, nDev)
+	for i := range parts {
+		var err error
+		parts[i], err = graph.FromEdges(cuts[i+1]-cuts[i], edgeLists[i])
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return parts, cross, nil
+}
+
+// mergeMulti combines the per-part labelings into a global one.
+func mergeMulti(g *graph.Graph, cuts []int, results []*graph.CCResult, cross []graph.Edge) []int32 {
+	labels := make([]int32, g.N)
+	for i, r := range results {
+		base := int32(cuts[i])
+		for v, l := range r.Labels {
+			labels[cuts[i]+v] = l + base
+		}
+	}
+	uf := graph.NewUnionFind(g.N)
+	for _, e := range cross {
+		uf.Union(int(labels[e.U]), int(labels[e.V]))
+	}
+	for v := range labels {
+		labels[v] = int32(uf.Find(int(labels[v])))
+	}
+	minOf := make(map[int32]int32)
+	for v, l := range labels {
+		if cur, ok := minOf[l]; !ok || int32(v) < cur {
+			minOf[l] = int32(v)
+		}
+	}
+	for v := range labels {
+		labels[v] = minOf[labels[v]]
+	}
+	return labels
+}
+
+// MultiWorkload adapts multi-device CC to the vector partitioning
+// framework (core.SampledVector).
+type MultiWorkload struct {
+	name string
+	g    *graph.Graph
+	alg  *MultiAlgorithm
+	// SampleSize as in Workload; 0 means √n.
+	SampleSize int
+	// KeepFrac as in Workload; 0 means 1/2.
+	KeepFrac float64
+}
+
+var _ core.SampledVector = (*MultiWorkload)(nil)
+
+// NewMultiWorkload wraps g for vector-threshold estimation.
+func NewMultiWorkload(name string, g *graph.Graph, alg *MultiAlgorithm) *MultiWorkload {
+	return &MultiWorkload{name: name, g: g, alg: alg}
+}
+
+// Name implements core.VectorWorkload.
+func (w *MultiWorkload) Name() string { return "cc-multi/" + w.name }
+
+// Dim implements core.VectorWorkload: one share per device except the
+// last, which takes the remainder.
+func (w *MultiWorkload) Dim() int { return w.alg.Platform.Devices() - 1 }
+
+// EvaluateVector implements core.VectorWorkload.
+func (w *MultiWorkload) EvaluateVector(t []float64) (time.Duration, error) {
+	res, err := w.alg.Run(w.g, t)
+	if err != nil {
+		return 0, err
+	}
+	return res.Time, nil
+}
+
+// SampleVector implements core.SampledVector using the same contracted
+// sampler as the two-device workload.
+func (w *MultiWorkload) SampleVector(r *xrand.Rand) (core.VectorWorkload, time.Duration, error) {
+	k := w.SampleSize
+	if k <= 0 {
+		k = DefaultSampleSize(w.g.N)
+	}
+	keep := w.KeepFrac
+	if keep == 0 {
+		keep = 0.5
+	}
+	sub, ids, err := w.g.ContractedSample(r, k, keep)
+	if err != nil {
+		return nil, 0, fmt.Errorf("hetcc: sampling %s: %w", w.name, err)
+	}
+	var scanned int64
+	for _, v := range ids {
+		scanned += int64(w.g.Degree(v))
+	}
+	cost := w.alg.Platform.CPU.Time(hetsim.Kernel{
+		Name:             "cc-sample",
+		Ops:              scanned + int64(k),
+		Bytes:            4 * (scanned + int64(k)),
+		Launches:         1,
+		ParallelFraction: 0.5,
+		IrregularityCV:   1.0,
+	})
+	inner := &MultiWorkload{name: w.name + "-sample", g: sub, alg: w.alg}
+	return inner, cost, nil
+}
+
+// ExtrapolateVector implements core.SampledVector (identity, as in the
+// scalar CC case).
+func (w *MultiWorkload) ExtrapolateVector(t []float64) []float64 {
+	return append([]float64(nil), t...)
+}

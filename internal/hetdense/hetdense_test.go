@@ -1,0 +1,130 @@
+package hetdense
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hetsim"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+func TestRunMatchesSingleDevice(t *testing.T) {
+	r := xrand.New(1)
+	a := sparse.RandomDense(r, 40, 30)
+	b := sparse.RandomDense(r, 30, 20)
+	want := sparse.NewDense(40, 20)
+	if _, err := sparse.MatMul(a, b, want, 0, 40); err != nil {
+		t.Fatal(err)
+	}
+	alg := NewAlgorithm(hetsim.Default())
+	for _, th := range []float64{0, 25, 50, 100} {
+		res, err := alg.Run(a, b, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if res.C.Data[i] != want.Data[i] {
+				t.Fatalf("t=%v: product differs at %d", th, i)
+			}
+		}
+		if res.Time <= 0 {
+			t.Errorf("t=%v: time %v", th, res.Time)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	r := xrand.New(2)
+	a := sparse.RandomDense(r, 4, 4)
+	b := sparse.RandomDense(r, 5, 5)
+	alg := NewAlgorithm(hetsim.Default())
+	if _, err := alg.Run(a, b, 50); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := alg.Run(a, a, -2); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if _, err := alg.SimTime(0, 4, 4, 50); err == nil {
+		t.Error("zero dim accepted")
+	}
+	if _, err := alg.SimTime(4, 4, 4, 101); err == nil {
+		t.Error("threshold > 100 accepted")
+	}
+	if _, err := NewWorkload("x", 0, alg); err == nil {
+		t.Error("n=0 workload accepted")
+	}
+}
+
+func TestOptimumNearFLOPSRatio(t *testing.T) {
+	// The regular-workload claim of Fig. 1: for dense MM, the best
+	// threshold is close to the static FLOPS-ratio split.
+	alg := NewAlgorithm(hetsim.Default())
+	w, err := NewWorkload("mat.2k", 2048, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := core.ExhaustiveBest(w, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := 100 * alg.Platform.StaticCPUShare()
+	if math.Abs(best.Best-static) > 12 {
+		t.Errorf("dense optimum %v far from FLOPS split %v", best.Best, static)
+	}
+}
+
+func TestSamplingAgreesOnRegularWork(t *testing.T) {
+	alg := NewAlgorithm(hetsim.Default())
+	w, err := NewWorkload("mat.4k", 4096, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := core.EstimateThreshold(w, core.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := core.ExhaustiveBest(w, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(est.Threshold - best.Best); diff > 6 {
+		t.Errorf("estimate %v vs best %v (diff %v)", est.Threshold, best.Best, diff)
+	}
+}
+
+func TestSampleQuartersDimension(t *testing.T) {
+	alg := NewAlgorithm(hetsim.Default())
+	w, err := NewWorkload("m", 1000, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, cost, err := w.Sample(xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.(*Workload).n != 250 {
+		t.Errorf("sample n = %d", sw.(*Workload).n)
+	}
+	if cost <= 0 {
+		t.Error("sample cost not positive")
+	}
+}
+
+func TestGPUWinsBulkOfDenseWork(t *testing.T) {
+	// On regular work the GPU side must carry most rows at the
+	// optimum (the paper: GPU gets ~88%).
+	alg := NewAlgorithm(hetsim.Default())
+	w, err := NewWorkload("m", 2048, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := core.ExhaustiveBest(w, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Best > 40 {
+		t.Errorf("CPU share at optimum = %v%%, expected minority", best.Best)
+	}
+}

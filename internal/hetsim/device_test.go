@@ -1,0 +1,268 @@
+package hetsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testCPU(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice(DeviceSpec{
+		Name: "cpu", Kind: CPU, Cores: 4, CoreRate: 1e9,
+		MemBandwidth: 10e9, LaunchLatency: time.Microsecond,
+		DivergencePenalty: 0.1, RandomAccessPenalty: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	bad := []DeviceSpec{
+		{Name: "no-cores", CoreRate: 1, MemBandwidth: 1},
+		{Name: "no-rate", Cores: 1, MemBandwidth: 1},
+		{Name: "no-bw", Cores: 1, CoreRate: 1},
+		{Name: "neg-pen", Cores: 1, CoreRate: 1, MemBandwidth: 1, DivergencePenalty: -1},
+	}
+	for _, spec := range bad {
+		if _, err := NewDevice(spec); err == nil {
+			t.Errorf("%s: invalid spec accepted", spec.Name)
+		}
+	}
+}
+
+func TestTimeZeroWork(t *testing.T) {
+	d := testCPU(t)
+	if got := d.Time(Kernel{Name: "empty"}); got != 0 {
+		t.Errorf("zero-work kernel took %v", got)
+	}
+}
+
+func TestTimeSequentialComputeBound(t *testing.T) {
+	d := testCPU(t)
+	// 1e9 sequential ops at 1e9 ops/s = 1s (+1µs launch).
+	got := d.Time(Kernel{Ops: 1e9, ParallelFraction: 0, Launches: 1})
+	want := time.Second + time.Microsecond
+	if diff := got - want; diff > time.Millisecond || diff < -time.Millisecond {
+		t.Errorf("sequential time = %v, want ~%v", got, want)
+	}
+}
+
+func TestTimeAmdahlScaling(t *testing.T) {
+	d := testCPU(t)
+	seq := d.Time(Kernel{Ops: 4e9, ParallelFraction: 0})
+	par := d.Time(Kernel{Ops: 4e9, ParallelFraction: 1})
+	// Perfectly parallel on 4 cores: 4x faster.
+	ratio := float64(seq) / float64(par)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("parallel speedup = %v, want ~4", ratio)
+	}
+	half := d.Time(Kernel{Ops: 4e9, ParallelFraction: 0.5})
+	if half <= par || half >= seq {
+		t.Errorf("half-parallel time %v not between %v and %v", half, par, seq)
+	}
+}
+
+func TestTimeMemoryBound(t *testing.T) {
+	d := testCPU(t)
+	// Tiny compute, heavy traffic: 20e9 bytes at 10e9 B/s = 2s.
+	got := d.Time(Kernel{Ops: 1, Bytes: 20e9})
+	if got < 1900*time.Millisecond || got > 2100*time.Millisecond {
+		t.Errorf("memory-bound time = %v, want ~2s", got)
+	}
+}
+
+func TestTimeIrregularityPenalty(t *testing.T) {
+	d := testCPU(t)
+	regular := d.Time(Kernel{Ops: 1e9, ParallelFraction: 1, IrregularityCV: 0})
+	irregular := d.Time(Kernel{Ops: 1e9, ParallelFraction: 1, IrregularityCV: 2})
+	// DivergencePenalty 0.1, CV 2 → 1.2x.
+	ratio := float64(irregular) / float64(regular)
+	if ratio < 1.15 || ratio > 1.25 {
+		t.Errorf("irregularity slowdown = %v, want ~1.2", ratio)
+	}
+}
+
+func TestTimeClampsInputs(t *testing.T) {
+	d := testCPU(t)
+	a := d.Time(Kernel{Ops: 1e6, ParallelFraction: 5, IrregularityCV: -3})
+	b := d.Time(Kernel{Ops: 1e6, ParallelFraction: 1, IrregularityCV: 0})
+	if a != b {
+		t.Errorf("clamping failed: %v vs %v", a, b)
+	}
+}
+
+func TestTimeLaunchOverhead(t *testing.T) {
+	d := testCPU(t)
+	one := d.Time(Kernel{Ops: 1000, Launches: 1})
+	many := d.Time(Kernel{Ops: 1000, Launches: 101})
+	if diff := many - one; diff < 99*time.Microsecond || diff > 101*time.Microsecond {
+		t.Errorf("100 extra launches cost %v, want ~100µs", diff)
+	}
+	// Launches < 1 is treated as 1.
+	if got := d.Time(Kernel{Ops: 1000, Launches: 0}); got != one {
+		t.Errorf("Launches=0 time %v != Launches=1 time %v", got, one)
+	}
+}
+
+func TestTimeAll(t *testing.T) {
+	d := testCPU(t)
+	k1 := Kernel{Ops: 1e6, Launches: 1}
+	k2 := Kernel{Ops: 2e6, Launches: 1}
+	if d.TimeAll(k1, k2) != d.Time(k1)+d.Time(k2) {
+		t.Error("TimeAll is not additive")
+	}
+}
+
+func TestLinkTransfer(t *testing.T) {
+	l := &Link{Latency: 10 * time.Microsecond, Bandwidth: 1e9}
+	if got := l.Transfer(0); got != 0 {
+		t.Errorf("zero transfer took %v", got)
+	}
+	if got := l.Transfer(-5); got != 0 {
+		t.Errorf("negative transfer took %v", got)
+	}
+	got := l.Transfer(1e9)
+	want := time.Second + 10*time.Microsecond
+	if diff := got - want; diff > time.Millisecond || diff < -time.Millisecond {
+		t.Errorf("transfer = %v, want ~%v", got, want)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	if Overlap(time.Second, 2*time.Second) != 2*time.Second {
+		t.Error("Overlap should return max")
+	}
+	if Overlap(3*time.Second, time.Second) != 3*time.Second {
+		t.Error("Overlap should return max")
+	}
+}
+
+func TestDefaultPlatform(t *testing.T) {
+	p := Default()
+	if err := p.CPU.Spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.GPU.Spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ratio := p.FLOPSRatio()
+	// The paper's NaiveStatic gives the GPU ~88%, i.e. ratio ~7-8.
+	if ratio < 5 || ratio > 12 {
+		t.Errorf("FLOPS ratio = %v, want ~7-8", ratio)
+	}
+	share := p.StaticCPUShare()
+	if share < 0.08 || share > 0.17 {
+		t.Errorf("static CPU share = %v, want ~0.12", share)
+	}
+	// On perfectly regular parallel work the GPU must win big.
+	k := Kernel{Ops: 1e10, ParallelFraction: 1}
+	if p.GPU.Time(k) >= p.CPU.Time(k) {
+		t.Error("GPU not faster than CPU on regular parallel work")
+	}
+	// On sequential work the CPU must win big.
+	ks := Kernel{Ops: 1e7, ParallelFraction: 0}
+	if p.CPU.Time(ks) >= p.GPU.Time(ks) {
+		t.Error("CPU not faster than GPU on sequential work")
+	}
+	// On highly irregular work the GPU's advantage must shrink.
+	reg := float64(p.CPU.Time(k)) / float64(p.GPU.Time(k))
+	ki := Kernel{Ops: 1e10, ParallelFraction: 1, IrregularityCV: 3}
+	irr := float64(p.CPU.Time(ki)) / float64(p.GPU.Time(ki))
+	if irr >= reg {
+		t.Errorf("irregularity did not shrink GPU advantage: %v vs %v", irr, reg)
+	}
+}
+
+func TestTraceAccounting(t *testing.T) {
+	var tr Trace
+	tr.Add(PhaseSample, "host", time.Millisecond)
+	tr.Add(PhaseIdentify, "cpu", 2*time.Millisecond)
+	tr.Add(PhaseCompute, "gpu", 7*time.Millisecond)
+	if tr.Total() != 10*time.Millisecond {
+		t.Errorf("total = %v", tr.Total())
+	}
+	if tr.PhaseTotal(PhaseIdentify) != 2*time.Millisecond {
+		t.Errorf("phase total = %v", tr.PhaseTotal(PhaseIdentify))
+	}
+	est, frac := tr.EstimationOverhead()
+	if est != 3*time.Millisecond {
+		t.Errorf("estimation = %v", est)
+	}
+	if frac < 0.29 || frac > 0.31 {
+		t.Errorf("overhead fraction = %v, want 0.3", frac)
+	}
+}
+
+func TestTraceEmptyOverhead(t *testing.T) {
+	var tr Trace
+	if _, frac := tr.EstimationOverhead(); frac != 0 {
+		t.Errorf("empty trace overhead = %v", frac)
+	}
+}
+
+func TestTraceMergeAndString(t *testing.T) {
+	var a, b Trace
+	a.Add(PhaseCompute, "cpu", time.Millisecond)
+	b.Add(PhaseCompute, "gpu", time.Millisecond)
+	a.Merge(&b)
+	if len(a.Entries) != 2 {
+		t.Errorf("merged entries = %d", len(a.Entries))
+	}
+	s := a.String()
+	if !strings.Contains(s, "total") || !strings.Contains(s, "compute/cpu") {
+		t.Errorf("trace string missing content:\n%s", s)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	names := PresetNames()
+	if len(names) != 4 {
+		t.Fatalf("presets = %v", names)
+	}
+	shares := map[string]float64{}
+	for _, n := range names {
+		p, err := Preset(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.CPU.Spec.Validate(); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if err := p.GPU.Spec.Validate(); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		shares[n] = p.StaticCPUShare()
+	}
+	// Platform ordering: the entry GPU leaves the CPU the largest
+	// share; the HBM GPU the smallest.
+	if !(shares["entry-gpu"] > shares["k40c"] && shares["k40c"] > shares["hbm-gpu"]) {
+		t.Errorf("share ordering wrong: %v", shares)
+	}
+	if shares["big-cpu"] <= shares["k40c"] {
+		t.Errorf("big-cpu share %v not above k40c %v", shares["big-cpu"], shares["k40c"])
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestDefaultMulti(t *testing.T) {
+	p := DefaultMulti(3)
+	if p.Devices() != 4 {
+		t.Fatalf("devices = %d", p.Devices())
+	}
+	for i := 1; i < len(p.GPUs); i++ {
+		if p.GPUs[i].Spec.Cores >= p.GPUs[i-1].Spec.Cores {
+			t.Errorf("GPU %d not weaker than GPU %d", i, i-1)
+		}
+		if err := p.GPUs[i].Spec.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if DefaultMulti(0).Devices() != 1 {
+		t.Error("zero-GPU multi platform wrong")
+	}
+}

@@ -1,0 +1,92 @@
+package hetsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// The device model must be monotone: more work never takes less time.
+func TestTimeMonotoneInOps(t *testing.T) {
+	d := testCPU(t)
+	f := func(opsRaw uint32, extraRaw uint16, pfRaw, cvRaw uint8) bool {
+		ops := int64(opsRaw)
+		extra := int64(extraRaw)
+		pf := float64(pfRaw) / 255
+		cv := float64(cvRaw) / 64
+		a := d.Time(Kernel{Ops: ops, ParallelFraction: pf, IrregularityCV: cv})
+		b := d.Time(Kernel{Ops: ops + extra, ParallelFraction: pf, IrregularityCV: cv})
+		return b >= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeMonotoneInBytes(t *testing.T) {
+	d := testCPU(t)
+	f := func(bytesRaw uint32, extraRaw uint16) bool {
+		a := d.Time(Kernel{Ops: 1, Bytes: int64(bytesRaw)})
+		b := d.Time(Kernel{Ops: 1, Bytes: int64(bytesRaw) + int64(extraRaw)})
+		return b >= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeMonotoneInIrregularity(t *testing.T) {
+	d := testCPU(t)
+	f := func(cvRaw, extraRaw uint8) bool {
+		cv := float64(cvRaw) / 32
+		extra := float64(extraRaw) / 32
+		a := d.Time(Kernel{Ops: 1e6, Bytes: 1e6, ParallelFraction: 1, IrregularityCV: cv})
+		b := d.Time(Kernel{Ops: 1e6, Bytes: 1e6, ParallelFraction: 1, IrregularityCV: cv + extra})
+		return b >= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// More parallelism never hurts.
+func TestTimeMonotoneInParallelFraction(t *testing.T) {
+	d := testCPU(t)
+	f := func(pfRaw, extraRaw uint8) bool {
+		pf := float64(pfRaw) / 255
+		extra := float64(extraRaw) / 255 * (1 - pf)
+		a := d.Time(Kernel{Ops: 1e9, ParallelFraction: pf})
+		b := d.Time(Kernel{Ops: 1e9, ParallelFraction: pf + extra})
+		return b <= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Transfers are additive-superlinear-free: splitting a transfer in two
+// never makes the total cheaper (latency is charged per transfer).
+func TestTransferSplitNeverCheaper(t *testing.T) {
+	l := &Link{Latency: time.Microsecond, Bandwidth: 1e9}
+	f := func(aRaw, bRaw uint32) bool {
+		a, b := int64(aRaw), int64(bRaw)
+		whole := l.Transfer(a + b)
+		split := l.Transfer(a) + l.Transfer(b)
+		return split >= whole
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Overlap is commutative and bounded by the sum.
+func TestOverlapProperties(t *testing.T) {
+	f := func(aRaw, bRaw uint32) bool {
+		a, b := time.Duration(aRaw), time.Duration(bRaw)
+		o := Overlap(a, b)
+		return o == Overlap(b, a) && o >= a && o >= b && o <= a+b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package hetsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Phase names used by the workloads; free-form strings are allowed,
+// these are just the conventional ones.
+const (
+	PhaseSample      = "sample"
+	PhaseIdentify    = "identify"
+	PhaseExtrapolate = "extrapolate"
+	PhasePartition   = "partition"
+	PhaseCompute     = "compute"
+	PhaseMerge       = "merge"
+	PhaseTransfer    = "transfer"
+)
+
+// TraceEntry is one timed phase of a heterogeneous execution.
+type TraceEntry struct {
+	Phase    string
+	Device   string // "cpu", "gpu", "link", "host"
+	Duration time.Duration
+}
+
+// Trace accumulates the simulated timeline of a run. The zero value is
+// ready to use. Traces are how the experiments separate estimation
+// overhead (sample+identify+extrapolate phases) from computation time,
+// the paper's "Overhead %" column.
+type Trace struct {
+	Entries []TraceEntry
+}
+
+// Add records a phase.
+func (t *Trace) Add(phase, device string, d time.Duration) {
+	t.Entries = append(t.Entries, TraceEntry{Phase: phase, Device: device, Duration: d})
+}
+
+// Total returns the sum of all entries.
+func (t *Trace) Total() time.Duration {
+	var sum time.Duration
+	for _, e := range t.Entries {
+		sum += e.Duration
+	}
+	return sum
+}
+
+// PhaseTotal returns the sum of entries with the given phase name.
+func (t *Trace) PhaseTotal(phase string) time.Duration {
+	var sum time.Duration
+	for _, e := range t.Entries {
+		if e.Phase == phase {
+			sum += e.Duration
+		}
+	}
+	return sum
+}
+
+// EstimationOverhead returns the time spent in the sampling pipeline
+// (sample, identify, extrapolate) and its fraction of the total.
+func (t *Trace) EstimationOverhead() (time.Duration, float64) {
+	est := t.PhaseTotal(PhaseSample) + t.PhaseTotal(PhaseIdentify) + t.PhaseTotal(PhaseExtrapolate)
+	total := t.Total()
+	if total == 0 {
+		return est, 0
+	}
+	return est, float64(est) / float64(total)
+}
+
+// Merge appends all entries of other.
+func (t *Trace) Merge(other *Trace) {
+	t.Entries = append(t.Entries, other.Entries...)
+}
+
+// String renders the trace as an aligned per-phase summary.
+func (t *Trace) String() string {
+	totals := map[string]time.Duration{}
+	order := []string{}
+	for _, e := range t.Entries {
+		key := e.Phase + "/" + e.Device
+		if _, ok := totals[key]; !ok {
+			order = append(order, key)
+		}
+		totals[key] += e.Duration
+	}
+	sort.Strings(order)
+	var sb strings.Builder
+	for _, key := range order {
+		fmt.Fprintf(&sb, "%-24s %12v\n", key, totals[key])
+	}
+	fmt.Fprintf(&sb, "%-24s %12v\n", "total", t.Total())
+	return sb.String()
+}

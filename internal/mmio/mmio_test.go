@@ -1,0 +1,229 @@
+package mmio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadCoordinateRealGeneral(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 1 1.5
+2 3 -2.0
+3 4 7
+`
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows != 3 || c.Cols != 4 || c.NNZ() != 3 {
+		t.Fatalf("dims = %dx%d nnz %d", c.Rows, c.Cols, c.NNZ())
+	}
+	if c.RowIdx[0] != 0 || c.ColIdx[0] != 0 || c.Vals[0] != 1.5 {
+		t.Fatalf("entry 0 = (%d,%d,%v)", c.RowIdx[0], c.ColIdx[0], c.Vals[0])
+	}
+	if c.RowIdx[1] != 1 || c.ColIdx[1] != 2 || c.Vals[1] != -2 {
+		t.Fatalf("entry 1 = (%d,%d,%v)", c.RowIdx[1], c.ColIdx[1], c.Vals[1])
+	}
+	if c.Field != Real || c.Symmetry != General {
+		t.Fatalf("kind = %v/%v", c.Field, c.Symmetry)
+	}
+}
+
+func TestReadSymmetricExpansion(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 5
+2 1 1
+3 2 2
+`
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 off-diagonal entries expand to 4, diagonal stays 1.
+	if c.NNZ() != 5 {
+		t.Fatalf("nnz after expansion = %d, want 5", c.NNZ())
+	}
+	// Check the mirrored (1,2) entry exists with value 1.
+	found := false
+	for k := range c.RowIdx {
+		if c.RowIdx[k] == 0 && c.ColIdx[k] == 1 && c.Vals[k] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("mirrored entry (0,1)=1 not found")
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern symmetric
+2 2 2
+1 1
+2 1
+`
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3", c.NNZ())
+	}
+	if len(c.Vals) != 0 {
+		t.Fatalf("pattern matrix has %d values", len(c.Vals))
+	}
+}
+
+func TestReadInteger(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate integer general
+2 2 1
+2 2 42
+`
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Vals[0] != 42 {
+		t.Fatalf("value = %v", c.Vals[0])
+	}
+}
+
+func TestReadArrayReal(t *testing.T) {
+	src := `%%MatrixMarket matrix array real general
+2 2
+1.0
+0.0
+3.0
+4.0
+`
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column-major: (1,1)=1, (2,1)=0 skipped, (1,2)=3, (2,2)=4.
+	if c.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3", c.NNZ())
+	}
+	if c.RowIdx[1] != 0 || c.ColIdx[1] != 1 || c.Vals[1] != 3 {
+		t.Fatalf("entry 1 = (%d,%d,%v)", c.RowIdx[1], c.ColIdx[1], c.Vals[1])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"bad header", "hello\n1 1 1\n"},
+		{"bad object", "%%MatrixMarket vector coordinate real general\n1 1 1\n"},
+		{"bad field", "%%MatrixMarket matrix coordinate complex general\n1 1 1\n"},
+		{"bad symmetry", "%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 1\n"},
+		{"bad format", "%%MatrixMarket matrix banana real general\n1 1 1\n"},
+		{"bad size", "%%MatrixMarket matrix coordinate real general\nx y z\n"},
+		{"row out of range", "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"},
+		{"col out of range", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 3 1.0\n"},
+		{"zero index", "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n"},
+		{"truncated", "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"},
+		{"short line", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n"},
+		{"bad value", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zzz\n"},
+		{"pattern array", "%%MatrixMarket matrix array pattern general\n1 1\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: expected error, got none", c.name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := &COO{
+		Rows: 3, Cols: 3,
+		RowIdx: []int32{0, 1, 2, 2},
+		ColIdx: []int32{1, 0, 2, 0},
+		Vals:   []float64{0.25, -3.75, 1e-12, 42},
+		Field:  Real,
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != orig.Rows || got.Cols != orig.Cols || got.NNZ() != orig.NNZ() {
+		t.Fatalf("dims mismatch: %dx%d/%d", got.Rows, got.Cols, got.NNZ())
+	}
+	for k := range orig.RowIdx {
+		if got.RowIdx[k] != orig.RowIdx[k] || got.ColIdx[k] != orig.ColIdx[k] || got.Vals[k] != orig.Vals[k] {
+			t.Fatalf("entry %d mismatch: (%d,%d,%v)", k, got.RowIdx[k], got.ColIdx[k], got.Vals[k])
+		}
+	}
+}
+
+func TestRoundTripPattern(t *testing.T) {
+	orig := &COO{
+		Rows: 2, Cols: 5,
+		RowIdx: []int32{0, 1},
+		ColIdx: []int32{4, 3},
+		Field:  Pattern,
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 2 || len(got.Vals) != 0 {
+		t.Fatalf("pattern round trip: nnz=%d vals=%d", got.NNZ(), len(got.Vals))
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.mtx")
+	orig := &COO{
+		Rows: 2, Cols: 2,
+		RowIdx: []int32{0, 1},
+		ColIdx: []int32{1, 0},
+		Vals:   []float64{1, 2},
+		Field:  Real,
+	}
+	if err := WriteFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 2 {
+		t.Fatalf("nnz = %d", got.NNZ())
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.mtx")); !os.IsNotExist(err) {
+		t.Fatalf("missing file error = %v", err)
+	}
+}
+
+func TestNoTrailingNewlineAtEOF(t *testing.T) {
+	src := "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 3.5"
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Vals[0] != 3.5 {
+		t.Fatalf("value = %v", c.Vals[0])
+	}
+}
+
+func TestHeaderCaseInsensitive(t *testing.T) {
+	src := "%%MatrixMarket MATRIX Coordinate REAL General\n1 1 1\n1 1 2\n"
+	if _, err := Read(strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package sparse
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func benchMatrix(b *testing.B, class Class, n, nnz int) *CSR {
+	b.Helper()
+	m, err := Generate(GenConfig{Class: class, Rows: n, NNZ: nnz, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkSpMMSequential measures the Gustavson kernel itself — the
+// real compute behind every simulated SpMM evaluation.
+func BenchmarkSpMMSequential(b *testing.B) {
+	a := benchMatrix(b, ClassUniform, 4000, 120000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SpMM(a, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpMMParallel measures the parallel kernel's scaling across
+// worker counts.
+func BenchmarkSpMMParallel(b *testing.B) {
+	a := benchMatrix(b, ClassUniform, 4000, 120000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := SpMMParallel(a, a, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLoadVector measures the Phase I primitive of Algorithm 2.
+func BenchmarkLoadVector(b *testing.B) {
+	a := benchMatrix(b, ClassPowerLaw, 20000, 400000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadVector(a, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUniformSubmatrix measures the Sample step of the SpMM
+// workload (n/4 × n/4 extraction).
+func BenchmarkUniformSubmatrix(b *testing.B) {
+	a := benchMatrix(b, ClassFEM, 20000, 400000)
+	r := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UniformSubmatrix(r, a, 5000, 5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaleFreeRowSample measures the Section V sampler.
+func BenchmarkScaleFreeRowSample(b *testing.B) {
+	a := benchMatrix(b, ClassPowerLaw, 40000, 800000)
+	r := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ScaleFreeRowSample(r, a, ScaleFreeSampleConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFromTriplets measures the CSR builder on shuffled input.
+func BenchmarkFromTriplets(b *testing.B) {
+	a := benchMatrix(b, ClassUniform, 10000, 300000)
+	coo := a.ToCOO()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromTriplets(coo.Rows, coo.Cols, coo.RowIdx, coo.ColIdx, coo.Vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package sparse
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+)
+
+// SpMV computes y = A*x. x must have length A.Cols; the result has
+// length A.Rows. Pattern matrices use implicit 1 values.
+func SpMV(a *CSR, x []float64) ([]float64, error) {
+	if len(x) != a.Cols {
+		return nil, fmt.Errorf("sparse: SpMV vector length %d, want %d", len(x), a.Cols)
+	}
+	y := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		var s float64
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		if a.Vals != nil {
+			for k := lo; k < hi; k++ {
+				s += a.Vals[k] * x[a.ColIdx[k]]
+			}
+		} else {
+			for k := lo; k < hi; k++ {
+				s += x[a.ColIdx[k]]
+			}
+		}
+		y[i] = s
+	}
+	return y, nil
+}
+
+// LoadVector computes the per-row work volume of the product A×B: the
+// vector L_AB with L_AB[i] = Σ_{j : A[i][j] ≠ 0} nnz(B[j]). This is the
+// observation exploited by the paper's Algorithm 2 ("The product
+// A × V_B will be a vector L_AB such that L_AB[i] equals the work
+// volume of the ith row of A").
+//
+// The total work volume (the 1-norm of L_AB) equals the number of
+// scalar multiply-adds the Gustavson SpMM will perform.
+func LoadVector(a, b *CSR) ([]int64, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("sparse: LoadVector dims %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	bRowNNZ := make([]int64, b.Rows)
+	for j := 0; j < b.Rows; j++ {
+		bRowNNZ[j] = b.RowPtr[j+1] - b.RowPtr[j]
+	}
+	out := make([]int64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		var s int64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += bRowNNZ[a.ColIdx[k]]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// TotalWork returns the 1-norm of the load vector, i.e. the total
+// multiply-add count of A×B under Gustavson's algorithm.
+func TotalWork(a, b *CSR) (int64, error) {
+	l, err := LoadVector(a, b)
+	if err != nil {
+		return 0, err
+	}
+	var s int64
+	for _, v := range l {
+		s += v
+	}
+	return s, nil
+}
+
+// SplitRowByWork returns the smallest row index i such that the prefix
+// work sum L[0..i) is at least frac (in [0,1]) of the total work. This
+// is how Algorithm 2 translates a split percentage r into the split row
+// ("find out the split row index i where V_L[i] is closest to L_CPU").
+// The returned index is in [0, len(load)].
+func SplitRowByWork(load []int64, frac float64) int {
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return len(load)
+	}
+	var total int64
+	for _, v := range load {
+		total += v
+	}
+	target := int64(frac * float64(total))
+	var prefix int64
+	for i, v := range load {
+		// Choose the boundary whose prefix is closest to the target.
+		if prefix+v >= target {
+			if target-prefix <= prefix+v-target {
+				return i
+			}
+			return i + 1
+		}
+		prefix += v
+	}
+	return len(load)
+}
+
+// spmmRowInto computes row i of C = A×B into the dense accumulator,
+// returning the indices touched and the number of multiply-adds
+// performed. acc and marker must have length B.Cols; marker entries for
+// touched columns are set to generation and reset implicitly by using a
+// new generation next call.
+type spmmAccumulator struct {
+	acc        []float64
+	marker     []int32
+	generation int32
+	touched    []int32
+}
+
+func newSpmmAccumulator(cols int) *spmmAccumulator {
+	return &spmmAccumulator{
+		acc:     make([]float64, cols),
+		marker:  make([]int32, cols),
+		touched: make([]int32, 0, 256),
+	}
+}
+
+// row computes one output row; results are appended to the provided
+// CSR-building buffers. Returns the multiply-add count.
+func (s *spmmAccumulator) row(a, b *CSR, i int, outCols *[]int32, outVals *[]float64) int64 {
+	s.generation++
+	if s.generation == 0 { // wrapped; reset markers
+		for k := range s.marker {
+			s.marker[k] = 0
+		}
+		s.generation = 1
+	}
+	s.touched = s.touched[:0]
+	var flops int64
+	aCols, aVals := a.Row(i)
+	for k, j := range aCols {
+		av := 1.0
+		if aVals != nil {
+			av = aVals[k]
+		}
+		bCols, bVals := b.Row(int(j))
+		flops += int64(len(bCols))
+		for k2, c := range bCols {
+			bv := 1.0
+			if bVals != nil {
+				bv = bVals[k2]
+			}
+			if s.marker[c] != s.generation {
+				s.marker[c] = s.generation
+				s.acc[c] = av * bv
+				s.touched = append(s.touched, c)
+			} else {
+				s.acc[c] += av * bv
+			}
+		}
+	}
+	sortTouched(s.touched)
+	for _, c := range s.touched {
+		*outCols = append(*outCols, c)
+		*outVals = append(*outVals, s.acc[c])
+	}
+	return flops
+}
+
+// sortTouched sorts an output row's column indices: insertion sort for
+// short rows (the common case), pdqsort via slices.Sort for dense ones
+// where the quadratic cost would dominate the whole multiplication.
+func sortTouched(a []int32) {
+	if len(a) > 48 {
+		slices.Sort(a)
+		return
+	}
+	insertionSortInt32(a)
+}
+
+func insertionSortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// SpMM computes C = A×B with Gustavson's sequential row-row algorithm.
+// It also returns the number of scalar multiply-adds performed, which
+// equals TotalWork(A, B).
+func SpMM(a, b *CSR) (*CSR, int64, error) {
+	if a.Cols != b.Rows {
+		return nil, 0, fmt.Errorf("sparse: SpMM dims %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	acc := newSpmmAccumulator(b.Cols)
+	rowPtr := make([]int64, a.Rows+1)
+	cols := make([]int32, 0)
+	vals := make([]float64, 0)
+	var flops int64
+	for i := 0; i < a.Rows; i++ {
+		flops += acc.row(a, b, i, &cols, &vals)
+		rowPtr[i+1] = int64(len(cols))
+	}
+	return &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: rowPtr, ColIdx: cols, Vals: vals}, flops, nil
+}
+
+// SpMMParallel computes C = A×B using workers goroutines, each running
+// Gustavson's algorithm over a contiguous block of rows. With
+// workers <= 1 it falls back to the sequential kernel.
+func SpMMParallel(a, b *CSR, workers int) (*CSR, int64, error) {
+	if a.Cols != b.Rows {
+		return nil, 0, fmt.Errorf("sparse: SpMMParallel dims %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if workers <= 1 || a.Rows < 2*workers {
+		return SpMM(a, b)
+	}
+	type block struct {
+		lo, hi int
+		cols   []int32
+		vals   []float64
+		ptr    []int64 // local, 0-based
+		flops  int64
+	}
+	blocks := make([]block, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * a.Rows / workers
+		hi := (w + 1) * a.Rows / workers
+		blocks[w].lo, blocks[w].hi = lo, hi
+		wg.Add(1)
+		go func(blk *block) {
+			defer wg.Done()
+			acc := newSpmmAccumulator(b.Cols)
+			blk.ptr = make([]int64, blk.hi-blk.lo+1)
+			for i := blk.lo; i < blk.hi; i++ {
+				blk.flops += acc.row(a, b, i, &blk.cols, &blk.vals)
+				blk.ptr[i-blk.lo+1] = int64(len(blk.cols))
+			}
+		}(&blocks[w])
+	}
+	wg.Wait()
+
+	var totalNNZ, totalFlops int64
+	for w := range blocks {
+		totalNNZ += int64(len(blocks[w].cols))
+		totalFlops += blocks[w].flops
+	}
+	out := &CSR{
+		Rows:   a.Rows,
+		Cols:   b.Cols,
+		RowPtr: make([]int64, a.Rows+1),
+		ColIdx: make([]int32, 0, totalNNZ),
+		Vals:   make([]float64, 0, totalNNZ),
+	}
+	for w := range blocks {
+		blk := &blocks[w]
+		base := int64(len(out.ColIdx))
+		out.ColIdx = append(out.ColIdx, blk.cols...)
+		out.Vals = append(out.Vals, blk.vals...)
+		for i := blk.lo; i < blk.hi; i++ {
+			out.RowPtr[i+1] = base + blk.ptr[i-blk.lo+1]
+		}
+	}
+	return out, totalFlops, nil
+}
+
+// VStack stacks matrices vertically (same column count). It is used to
+// reassemble C from the CPU and GPU partial products.
+func VStack(parts ...*CSR) (*CSR, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("sparse: VStack of nothing")
+	}
+	cols := parts[0].Cols
+	rows, nnz := 0, 0
+	hasVals := false
+	for _, p := range parts {
+		if p.Vals != nil {
+			hasVals = true
+		}
+		rows += p.Rows
+		nnz += p.NNZ()
+	}
+	for _, p := range parts {
+		if p.Cols != cols {
+			return nil, fmt.Errorf("sparse: VStack column mismatch %d vs %d", p.Cols, cols)
+		}
+		// A pattern part (nil Vals) with stored entries cannot be
+		// mixed with valued parts; an empty part is compatible with
+		// anything.
+		if hasVals && p.Vals == nil && p.NNZ() > 0 {
+			return nil, fmt.Errorf("sparse: VStack mixes pattern and valued matrices")
+		}
+	}
+	out := &CSR{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: make([]int64, rows+1),
+		ColIdx: make([]int32, 0, nnz),
+	}
+	if hasVals {
+		out.Vals = make([]float64, 0, nnz)
+	}
+	r := 0
+	for _, p := range parts {
+		base := int64(len(out.ColIdx))
+		out.ColIdx = append(out.ColIdx, p.ColIdx...)
+		if hasVals {
+			out.Vals = append(out.Vals, p.Vals...)
+		}
+		for i := 0; i < p.Rows; i++ {
+			out.RowPtr[r+1] = base + p.RowPtr[i+1]
+			r++
+		}
+	}
+	return out, nil
+}
+
+// Add returns A+B elementwise; dimensions must match. Used by HH-CPU's
+// Phase IV to combine partial products.
+func Add(a, b *CSR) (*CSR, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, fmt.Errorf("sparse: Add dims %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if (a.Vals == nil) != (b.Vals == nil) {
+		return nil, fmt.Errorf("sparse: Add mixes pattern and valued matrices")
+	}
+	rowPtr := make([]int64, a.Rows+1)
+	cols := make([]int32, 0, a.NNZ()+b.NNZ())
+	var vals []float64
+	if a.Vals != nil {
+		vals = make([]float64, 0, a.NNZ()+b.NNZ())
+	}
+	for i := 0; i < a.Rows; i++ {
+		ac, av := a.Row(i)
+		bc, bv := b.Row(i)
+		ka, kb := 0, 0
+		for ka < len(ac) || kb < len(bc) {
+			switch {
+			case kb == len(bc) || (ka < len(ac) && ac[ka] < bc[kb]):
+				cols = append(cols, ac[ka])
+				if vals != nil {
+					vals = append(vals, av[ka])
+				}
+				ka++
+			case ka == len(ac) || bc[kb] < ac[ka]:
+				cols = append(cols, bc[kb])
+				if vals != nil {
+					vals = append(vals, bv[kb])
+				}
+				kb++
+			default: // equal columns
+				cols = append(cols, ac[ka])
+				if vals != nil {
+					vals = append(vals, av[ka]+bv[kb])
+				}
+				ka++
+				kb++
+			}
+		}
+		rowPtr[i+1] = int64(len(cols))
+	}
+	return &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: rowPtr, ColIdx: cols, Vals: vals}, nil
+}

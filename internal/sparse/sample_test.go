@@ -1,0 +1,293 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestUniformSubmatrixShape(t *testing.T) {
+	a, err := Generate(GenConfig{Class: ClassUniform, Rows: 400, Cols: 400, NNZ: 8000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(2)
+	s, err := UniformSubmatrix(r, a, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows != 100 || s.Cols != 100 {
+		t.Fatalf("sample dims %dx%d", s.Rows, s.Cols)
+	}
+	// Expected survival rate of an entry is (100/400)*(100/400) per
+	// dimension on columns only (rows are chosen, then each entry
+	// survives if its column is chosen): nnz' ≈ nnz * (100/400) rows
+	// coverage * (100/400) column survival = 8000/16 = 500.
+	if s.NNZ() < 250 || s.NNZ() > 1000 {
+		t.Errorf("sample nnz = %d, want ≈500", s.NNZ())
+	}
+}
+
+func TestUniformSubmatrixClampsAndErrors(t *testing.T) {
+	a, _ := Generate(GenConfig{Class: ClassUniform, Rows: 10, Cols: 10, NNZ: 30, Seed: 1})
+	r := xrand.New(1)
+	s, err := UniformSubmatrix(r, a, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows != 10 || s.Cols != 10 {
+		t.Fatalf("clamped dims %dx%d", s.Rows, s.Cols)
+	}
+	if _, err := UniformSubmatrix(r, a, 0, 5); err == nil {
+		t.Error("zero sample rows accepted")
+	}
+	if _, err := UniformSubmatrix(r, a, 5, -1); err == nil {
+		t.Error("negative sample cols accepted")
+	}
+}
+
+func TestUniformSubmatrixPreservesCV(t *testing.T) {
+	// The key statistical property: the coefficient of variation of
+	// row work, which drives the GPU irregularity penalty, must be
+	// approximately preserved by uniform sampling (in expectation).
+	a, err := Generate(GenConfig{Class: ClassPowerLaw, Rows: 4000, Cols: 4000, NNZ: 80000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCV := stats.CVInts(a.RowNNZCounts())
+	r := xrand.New(4)
+	cvs := make([]float64, 0, 10)
+	for trial := 0; trial < 10; trial++ {
+		s, err := UniformSubmatrix(r, a, 1000, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cvs = append(cvs, stats.CVInts(s.RowNNZCounts()))
+	}
+	meanCV := stats.Mean(cvs)
+	if math.Abs(meanCV-fullCV)/fullCV > 0.35 {
+		t.Errorf("sample CV %.3f far from full CV %.3f", meanCV, fullCV)
+	}
+}
+
+func TestUniformSubmatrixEntriesComeFromA(t *testing.T) {
+	// Deterministic check on a tiny matrix: every sampled entry's
+	// value must exist somewhere in A.
+	a := small3x4(t)
+	vals := map[float64]bool{}
+	for _, v := range a.Vals {
+		vals[v] = true
+	}
+	r := xrand.New(5)
+	s, err := UniformSubmatrix(r, a, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s.Vals {
+		if !vals[v] {
+			t.Fatalf("sample value %v not in source", v)
+		}
+	}
+}
+
+func TestBlockSubmatrix(t *testing.T) {
+	a, err := Generate(GenConfig{Class: ClassFEM, Rows: 200, Cols: 200, NNZ: 2000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BlockSubmatrix(a, 0, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Rows != 50 || b.Cols != 50 {
+		t.Fatalf("block dims %dx%d", b.Rows, b.Cols)
+	}
+	// Block content must match A exactly.
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 50; j++ {
+			if b.At(i, j) != a.At(i, j) {
+				t.Fatalf("block(%d,%d) = %v, want %v", i, j, b.At(i, j), a.At(i, j))
+			}
+		}
+	}
+	// Offset block.
+	b2, err := BlockSubmatrix(a, 100, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.At(0, 0) != a.At(100, 100) {
+		t.Fatal("offset block content wrong")
+	}
+	// Clipping at the edge.
+	b3, err := BlockSubmatrix(a, 180, 180, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3.Rows != 20 || b3.Cols != 20 {
+		t.Fatalf("clipped dims %dx%d", b3.Rows, b3.Cols)
+	}
+}
+
+func TestBlockSubmatrixErrors(t *testing.T) {
+	a := small3x4(t)
+	if _, err := BlockSubmatrix(a, 0, 0, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := BlockSubmatrix(a, 5, 0, 2); err == nil {
+		t.Error("row offset out of range accepted")
+	}
+	if _, err := BlockSubmatrix(a, 0, -1, 2); err == nil {
+		t.Error("negative col offset accepted")
+	}
+}
+
+func TestBlockVsRandomBias(t *testing.T) {
+	// The Fig. 7 phenomenon: on a banded FEM matrix, the leading
+	// diagonal block has systematically different density than a
+	// random sample of the same size.
+	a, err := Generate(GenConfig{Class: ClassFEM, Rows: 2000, Cols: 2000, NNZ: 40000, BandwidthFrac: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := BlockSubmatrix(a, 0, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(8)
+	rnd, err := UniformSubmatrix(r, a, 500, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The diagonal block keeps nearly all entries of its rows (the
+	// band is inside the block), the random sample keeps ~1/4 of the
+	// entries of its rows. This factor-of-4 gap in retained work is
+	// exactly the bias the paper demonstrates.
+	if block.NNZ() < 2*rnd.NNZ() {
+		t.Errorf("expected block bias: block nnz %d vs random nnz %d", block.NNZ(), rnd.NNZ())
+	}
+}
+
+func TestScaleFreeRowSample(t *testing.T) {
+	a, err := Generate(GenConfig{Class: ClassPowerLaw, Rows: 10000, Cols: 10000, NNZ: 200000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(10)
+	s, err := ScaleFreeRowSample(r, a, ScaleFreeSampleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Sqrt(10000))
+	if s.Rows != want || s.Cols != want {
+		t.Fatalf("sample dims %dx%d, want %dx%d", s.Rows, s.Cols, want, want)
+	}
+}
+
+func TestScaleFreeRowSampleDegreeScaling(t *testing.T) {
+	// A row of degree d in A should appear with ≈ √d entries in the
+	// sample (DegreeExponent = 0.5). Build a matrix where every row
+	// has exactly degree 64, so sampled rows should have ≈ 8.
+	const n, deg = 4096, 64
+	rows := make([]int32, 0, n*deg)
+	cols := make([]int32, 0, n*deg)
+	rng := xrand.New(11)
+	for i := 0; i < n; i++ {
+		for _, c := range rng.SampleInts(n, deg) {
+			rows = append(rows, int32(i))
+			cols = append(cols, int32(c))
+		}
+	}
+	a, err := FromTriplets(n, n, rows, cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ScaleFreeRowSample(xrand.New(12), a, ScaleFreeSampleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := s.RowNNZCounts()
+	mean := 0.0
+	for _, c := range counts {
+		mean += float64(c)
+	}
+	mean /= float64(len(counts))
+	if mean < 6.5 || mean > 8.5 {
+		t.Errorf("sampled mean degree = %v, want ≈ 8 (=√64)", mean)
+	}
+}
+
+func TestScaleFreeRowSampleCustomExponent(t *testing.T) {
+	a, err := Generate(GenConfig{Class: ClassPowerLaw, Rows: 2500, Cols: 2500, NNZ: 50000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exponent 1.0 keeps full row degrees (capped by sample width).
+	full, err := ScaleFreeRowSample(xrand.New(14), a, ScaleFreeSampleConfig{SampleRows: 50, DegreeExponent: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := ScaleFreeRowSample(xrand.New(14), a, ScaleFreeSampleConfig{SampleRows: 50, DegreeExponent: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NNZ() <= sq.NNZ() {
+		t.Errorf("exponent 1.0 nnz %d should exceed exponent 0.5 nnz %d", full.NNZ(), sq.NNZ())
+	}
+	if _, err := ScaleFreeRowSample(xrand.New(1), a, ScaleFreeSampleConfig{DegreeExponent: 1.5}); err == nil {
+		t.Error("exponent > 1 accepted")
+	}
+}
+
+func TestScaleFreeRowSampleSmallInputs(t *testing.T) {
+	a := small3x4(t)
+	s, err := ScaleFreeRowSample(xrand.New(15), a, ScaleFreeSampleConfig{SampleRows: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows != 3 {
+		t.Fatalf("clamped sample rows = %d", s.Rows)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplersDeterministic(t *testing.T) {
+	a, err := Generate(GenConfig{Class: ClassPowerLaw, Rows: 1000, Cols: 1000, NNZ: 20000, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := UniformSubmatrix(xrand.New(77), a, 200, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := UniformSubmatrix(xrand.New(77), a, 200, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Equal(s2) {
+		t.Error("UniformSubmatrix not deterministic for fixed seed")
+	}
+	f1, err := ScaleFreeRowSample(xrand.New(78), a, ScaleFreeSampleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ScaleFreeRowSample(xrand.New(78), a, ScaleFreeSampleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f1.Equal(f2) {
+		t.Error("ScaleFreeRowSample not deterministic for fixed seed")
+	}
+}

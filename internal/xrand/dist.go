@@ -1,0 +1,174 @@
+package xrand
+
+import "math"
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(i+1)^s, i.e. a discrete power law ("Zipfian") distribution. It is
+// the distribution of row densities in the scale-free matrices used by
+// the HH-CPU case study.
+//
+// Sampling uses the rejection-inversion method of Hörmann and
+// Derflinger, which is O(1) per variate for s > 1 and degrades
+// gracefully to a table-based method for s <= 1.
+type Zipf struct {
+	r *Rand
+	n uint64
+	s float64
+
+	// rejection-inversion state (s != 1, s > 0)
+	oneMinusS    float64
+	invOneMinusS float64
+	hx0          float64
+	hxm          float64
+	hInt         float64
+
+	// cdf table fallback for awkward exponents
+	cdf []float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s > 0.
+// It panics if n == 0 or s <= 0.
+func NewZipf(r *Rand, n uint64, s float64) *Zipf {
+	if n == 0 {
+		panic("xrand: NewZipf with zero n")
+	}
+	if s <= 0 || math.IsNaN(s) {
+		panic("xrand: NewZipf with non-positive exponent")
+	}
+	z := &Zipf{r: r, n: n, s: s}
+	if n <= 1<<16 || math.Abs(s-1) < 1e-9 {
+		// Exact inversion via a cumulative table: simplest and
+		// fast enough for the sizes used in tests and sampling.
+		z.buildTable()
+		return z
+	}
+	z.oneMinusS = 1 - s
+	z.invOneMinusS = 1 / z.oneMinusS
+	z.hx0 = z.h(0.5)
+	z.hxm = z.h(float64(n) + 0.5)
+	z.hInt = z.hxm - z.hx0
+	return z
+}
+
+func (z *Zipf) buildTable() {
+	z.cdf = make([]float64, z.n)
+	sum := 0.0
+	for i := uint64(0); i < z.n; i++ {
+		sum += math.Pow(float64(i+1), -z.s)
+		z.cdf[i] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+}
+
+// h is the antiderivative of x^-s (for s != 1).
+func (z *Zipf) h(x float64) float64 {
+	return math.Pow(x, z.oneMinusS) * z.invOneMinusS
+}
+
+// hInv inverts h.
+func (z *Zipf) hInv(x float64) float64 {
+	return math.Pow(x*z.oneMinusS, z.invOneMinusS)
+}
+
+// Next returns the next Zipf variate in [0, n).
+func (z *Zipf) Next() uint64 {
+	if z.cdf != nil {
+		u := z.r.Float64()
+		// Binary search the CDF.
+		lo, hi := 0, len(z.cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if z.cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return uint64(lo)
+	}
+	for {
+		u := z.hx0 + z.r.Float64()*z.hInt
+		x := z.hInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		// Accept with probability f(k)/g(k); the hat is tight so
+		// this almost always accepts.
+		if u >= z.h(k+0.5)-math.Pow(k, -z.s) {
+			return uint64(k) - 1
+		}
+	}
+}
+
+// PowerLawDegrees fills out with n integer degrees following a truncated
+// discrete power law with exponent s, minimum degree dmin and maximum
+// degree dmax, scaled so their sum is approximately targetSum. This is
+// the generator behind the "scale-free" synthetic matrices: a few rows
+// get very many nonzeros and most rows get few.
+//
+// The exact sum is adjusted by distributing the residual one unit at a
+// time over random entries, so the result sums to exactly targetSum as
+// long as n*dmin <= targetSum <= n*dmax.
+func PowerLawDegrees(r *Rand, n int, s float64, dmin, dmax, targetSum int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if dmin < 1 {
+		dmin = 1
+	}
+	if dmax < dmin {
+		dmax = dmin
+	}
+	z := NewZipf(r, uint64(dmax-dmin+1), s)
+	out := make([]int, n)
+	sum := 0
+	for i := range out {
+		d := dmin + int(z.Next())
+		out[i] = d
+		sum += d
+	}
+	if targetSum <= 0 {
+		return out
+	}
+	lo, hi := n*dmin, n*dmax
+	if targetSum < lo {
+		targetSum = lo
+	}
+	if targetSum > hi {
+		targetSum = hi
+	}
+	// First, rescale multiplicatively toward the target.
+	if sum > 0 && sum != targetSum {
+		scale := float64(targetSum) / float64(sum)
+		sum = 0
+		for i := range out {
+			d := int(float64(out[i])*scale + 0.5)
+			if d < dmin {
+				d = dmin
+			}
+			if d > dmax {
+				d = dmax
+			}
+			out[i] = d
+			sum += d
+		}
+	}
+	// Then walk the residual out one unit at a time.
+	for sum != targetSum {
+		i := r.Intn(n)
+		if sum < targetSum && out[i] < dmax {
+			out[i]++
+			sum++
+		} else if sum > targetSum && out[i] > dmin {
+			out[i]--
+			sum--
+		}
+	}
+	return out
+}

@@ -1,0 +1,398 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownSequence(t *testing.T) {
+	// Golden values pin the generator's output so that any change to
+	// the mixing constants (which would silently change every sampled
+	// experiment input) fails loudly.
+	sm := NewSplitMix64(1234567)
+	want := []uint64{
+		0x599ed017fb08fc85, 0x2c73f08458540fa5, 0x883ebce5a3f27c77,
+	}
+	for i, w := range want {
+		if got := sm.Next(); got != w {
+			t.Fatalf("SplitMix64 value %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical values of 1000", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for n := 1; n < 40; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-square over 10 buckets; loose bound, just catches gross bias.
+	r := New(99)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	expected := float64(trials) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom; 99.9th percentile is ~27.9.
+	if chi2 > 35 {
+		t.Fatalf("chi2 = %v indicates non-uniform Uint64n", chi2)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64() = %v negative", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleIntsProperties(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint16) bool {
+		n := int(nRaw%2000) + 1
+		k := int(kRaw) % (n + 1)
+		r := New(seed)
+		s := r.SampleInts(n, k)
+		if len(s) != k {
+			return false
+		}
+		for i, v := range s {
+			if v < 0 || v >= n {
+				return false
+			}
+			if i > 0 && s[i-1] >= v { // strictly ascending => distinct
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleIntsCoverage(t *testing.T) {
+	// Every element should be selected at least occasionally.
+	r := New(8)
+	const n = 50
+	hits := make([]int, n)
+	for trial := 0; trial < 2000; trial++ {
+		for _, v := range r.SampleInts(n, 5) {
+			hits[v]++
+		}
+	}
+	for i, h := range hits {
+		if h == 0 {
+			t.Fatalf("element %d never sampled in 2000 trials", i)
+		}
+	}
+}
+
+func TestSampleIntsEdges(t *testing.T) {
+	r := New(9)
+	if got := r.SampleInts(10, 0); got != nil {
+		t.Fatalf("SampleInts(10,0) = %v, want nil", got)
+	}
+	full := r.SampleInts(10, 10)
+	for i, v := range full {
+		if v != i {
+			t.Fatalf("SampleInts(10,10) = %v, want identity", full)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SampleInts(3,4) did not panic")
+		}
+	}()
+	r.SampleInts(3, 4)
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(21)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split generators share %d of 1000 values", same)
+	}
+}
+
+func TestZipfRangeAndMonotoneMass(t *testing.T) {
+	r := New(17)
+	for _, n := range []uint64{2, 10, 1000, 1 << 17} {
+		z := NewZipf(r, n, 1.5)
+		counts := make(map[uint64]int)
+		for i := 0; i < 20000; i++ {
+			v := z.Next()
+			if v >= n {
+				t.Fatalf("Zipf(n=%d) produced %d", n, v)
+			}
+			counts[v]++
+		}
+		// Rank 0 should dominate rank min(9, n-1) clearly.
+		hi := counts[0]
+		lo := counts[minU64(9, n-1)]
+		if hi <= lo {
+			t.Fatalf("Zipf(n=%d): mass(0)=%d <= mass(tail)=%d", n, hi, lo)
+		}
+	}
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestZipfExponentEffect(t *testing.T) {
+	r := New(19)
+	heavy := NewZipf(r, 1000, 2.5)
+	light := NewZipf(r, 1000, 1.01)
+	headHeavy, headLight := 0, 0
+	for i := 0; i < 10000; i++ {
+		if heavy.Next() == 0 {
+			headHeavy++
+		}
+		if light.Next() == 0 {
+			headLight++
+		}
+	}
+	if headHeavy <= headLight {
+		t.Fatalf("steeper exponent should concentrate mass: %d vs %d", headHeavy, headLight)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	r := New(1)
+	for _, bad := range []struct {
+		n uint64
+		s float64
+	}{{0, 1.5}, {10, 0}, {10, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewZipf(%d, %v) did not panic", bad.n, bad.s)
+				}
+			}()
+			NewZipf(r, bad.n, bad.s)
+		}()
+	}
+}
+
+func TestPowerLawDegreesSumAndBounds(t *testing.T) {
+	r := New(23)
+	const n, dmin, dmax, target = 5000, 1, 400, 60000
+	d := PowerLawDegrees(r, n, 1.8, dmin, dmax, target)
+	if len(d) != n {
+		t.Fatalf("got %d degrees, want %d", len(d), n)
+	}
+	sum := 0
+	for _, v := range d {
+		if v < dmin || v > dmax {
+			t.Fatalf("degree %d outside [%d,%d]", v, dmin, dmax)
+		}
+		sum += v
+	}
+	if sum != target {
+		t.Fatalf("degree sum = %d, want %d", sum, target)
+	}
+}
+
+func TestPowerLawDegreesSkew(t *testing.T) {
+	r := New(29)
+	d := PowerLawDegrees(r, 10000, 2.0, 1, 1000, 50000)
+	// A power law should have median well below mean.
+	sorted := append([]int(nil), d...)
+	insertionSortInts(sorted)
+	median := sorted[len(sorted)/2]
+	mean := 50000.0 / 10000.0
+	if float64(median) >= mean {
+		t.Fatalf("median %d >= mean %v; distribution not skewed", median, mean)
+	}
+	if sorted[len(sorted)-1] < 10*median {
+		t.Fatalf("max degree %d not heavy-tailed vs median %d", sorted[len(sorted)-1], median)
+	}
+}
+
+func TestPowerLawDegreesClampedTarget(t *testing.T) {
+	r := New(31)
+	// Target below n*dmin must clamp to n*dmin.
+	d := PowerLawDegrees(r, 100, 1.5, 2, 10, 1)
+	sum := 0
+	for _, v := range d {
+		sum += v
+	}
+	if sum != 200 {
+		t.Fatalf("clamped sum = %d, want 200", sum)
+	}
+	// Empty input.
+	if out := PowerLawDegrees(r, 0, 1.5, 1, 5, 10); out != nil {
+		t.Fatalf("n=0 should return nil, got %v", out)
+	}
+}
+
+func TestInsertionSortInts(t *testing.T) {
+	f := func(a []int) bool {
+		b := append([]int(nil), a...)
+		insertionSortInts(b)
+		for i := 1; i < len(b); i++ {
+			if b[i-1] > b[i] {
+				return false
+			}
+		}
+		// Same multiset: compare counts.
+		count := map[int]int{}
+		for _, v := range a {
+			count[v]++
+		}
+		for _, v := range b {
+			count[v]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkZipfLarge(b *testing.B) {
+	r := New(1)
+	z := NewZipf(r, 1<<20, 1.6)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = z.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkSampleIntsSqrtN(b *testing.B) {
+	r := New(1)
+	const n = 1 << 20
+	k := 1024
+	for i := 0; i < b.N; i++ {
+		_ = r.SampleInts(n, k)
+	}
+}
