@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -124,7 +125,7 @@ func run(workload, dataset, mtxPath string, seed uint64, repeats int, skipExh bo
 	}
 
 	start := time.Now()
-	est, err := core.EstimateThreshold(w, cfg)
+	est, err := core.EstimateThreshold(context.Background(), w, cfg)
 	if err != nil {
 		return err
 	}
@@ -145,7 +146,7 @@ func run(workload, dataset, mtxPath string, seed uint64, repeats int, skipExh bo
 	if skipExh {
 		return nil
 	}
-	best, err := core.ExhaustiveBest(w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,102 @@
+// Command hetserve is the threshold-estimation daemon: it answers
+// "how should I split this input across devices?" over HTTP using the
+// paper's Sample → Identify → Extrapolate framework.
+//
+// Endpoints:
+//
+//	GET  /estimate?workload=cc|spmm|scalefree&dataset=<name>   named Table II replica
+//	POST /estimate?workload=...                                MatrixMarket body upload
+//	GET  /datasets                                             list the named replicas
+//	GET  /healthz                                              liveness probe
+//	GET  /metrics                                              Prometheus text format
+//
+// Optional /estimate query parameters: seed (default 42), repeats
+// (default 3), searcher (exhaustive | coarse-to-fine | gradient |
+// race; default depends on workload), timeout (e.g. 500ms, capped by
+// -timeout).
+//
+// Example:
+//
+//	hetserve -addr :8080 &
+//	curl 'http://localhost:8080/estimate?workload=spmm&dataset=cant&seed=7'
+//	curl --data-binary @graph.mtx 'http://localhost:8080/estimate?workload=cc'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent estimations")
+		cacheSize = flag.Int("cache", serve.DefaultCacheSize, "result cache capacity (0 disables)")
+		maxUpload = flag.Int64("max-upload", serve.DefaultMaxUpload, "max POST body bytes")
+		timeout   = flag.Duration("timeout", serve.DefaultMaxTimeout, "per-request deadline cap")
+		verbose   = flag.Bool("v", false, "log per-request trace summaries")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *workers, *cacheSize, *maxUpload, *timeout, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "hetserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, cacheSize int, maxUpload int64, timeout time.Duration, verbose bool) error {
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	s := serve.New(serve.Config{
+		Workers:        workers,
+		CacheSize:      cacheSize,
+		MaxUploadBytes: maxUpload,
+		MaxTimeout:     timeout,
+		Verbose:        verbose,
+		Logf:           logger.Printf,
+	})
+
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: s.Handler(),
+		// Estimations can legitimately run for the full -timeout; add
+		// headroom for serialization.
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      timeout + 10*time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("hetserve: listening on %s (%d workers, cache %d)", addr, workers, cacheSize)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("hetserve: shutting down (cache hit ratio %.2f)", s.Metrics().CacheHitRatio())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

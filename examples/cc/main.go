@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -35,11 +36,11 @@ func main() {
 	w := hetcc.NewWorkload(d.Name, g, alg)
 
 	// The four ways to choose a threshold.
-	est, err := core.EstimateThreshold(w, core.Config{Seed: 42, Repeats: 3})
+	est, err := core.EstimateThreshold(context.Background(), w, core.Config{Seed: 42, Repeats: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-	best, err := core.ExhaustiveBest(w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -128,11 +129,11 @@ func (b *imageBatch) Extrapolate(t float64) float64 { return t }
 func main() {
 	batch := newBatch("nightly-8k", 8000, 11)
 
-	est, err := core.EstimateThreshold(batch, core.Config{Seed: 3})
+	est, err := core.EstimateThreshold(context.Background(), batch, core.Config{Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-	best, err := core.ExhaustiveBest(batch, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), batch, core.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

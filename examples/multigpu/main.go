@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -38,7 +39,7 @@ func main() {
 
 	// Estimate the share vector (CPU%, GPU0%; GPU1 takes the rest)
 	// from a single contracted sample.
-	est, err := core.EstimateVectorThreshold(w, core.Config{Seed: 11})
+	est, err := core.EstimateVectorThreshold(context.Background(), w, core.Config{Seed: 11})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func main() {
 		est.Overhead(), est.Evals)
 
 	// Compare against coordinate descent over the full input.
-	full, err := (core.CoordinateDescent{}).Search(w, 0, 100)
+	full, err := (core.CoordinateDescent{}).Search(context.Background(), w, 0, 100)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 	//    are drawn, the algorithm is swept over the miniature, and
 	//    the best sample threshold is extrapolated to the full input.
 	w := hetcc.NewWorkload("road-50k", g, alg)
-	est, err := core.EstimateThreshold(w, core.Config{Seed: 42, Repeats: 3})
+	est, err := core.EstimateThreshold(context.Background(), w, core.Config{Seed: 42, Repeats: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func main() {
 		res.Time, res.CPUTime, res.GPUTime, res.CrossEdges)
 
 	// 5. Compare against the impractical exhaustive search.
-	best, err := core.ExhaustiveBest(w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

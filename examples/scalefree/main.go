@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ func main() {
 		iw.Matrix().Rows, int(sampleMax), int(maxDeg))
 
 	// Full pipeline with gradient descent and t_A = t_s².
-	est, err := core.EstimateThreshold(w, core.Config{
+	est, err := core.EstimateThreshold(context.Background(), w, core.Config{
 		Searcher: core.GradientDescent{},
 		Seed:     42,
 		Repeats:  3,
@@ -57,7 +58,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	best, err := core.ExhaustiveBest(w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

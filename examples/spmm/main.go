@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,7 @@ func main() {
 
 	// The full pipeline: uniform n/4 × n/4 submatrix sample, race +
 	// fine search, identity extrapolation.
-	est, err := core.EstimateThreshold(w, core.Config{
+	est, err := core.EstimateThreshold(context.Background(), w, core.Config{
 		Searcher: core.RaceThenFine{Window: 4},
 		Seed:     42,
 		Repeats:  3,
@@ -51,7 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	best, err := core.ExhaustiveBest(w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func main() {
 			log.Fatal(err)
 		}
 		sw.SampleDivisor = div
-		e, err := core.EstimateThreshold(sw, core.Config{
+		e, err := core.EstimateThreshold(context.Background(), sw, core.Config{
 			Searcher: core.RaceThenFine{Window: 4},
 			Seed:     42 + uint64(div),
 		})

@@ -24,8 +24,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/xrand"
@@ -103,28 +105,37 @@ type SearchResult struct {
 }
 
 // Searcher is an Identify strategy: it minimizes w.Evaluate over
-// [lo, hi].
+// [lo, hi]. Cancellation or deadline expiry on ctx is observed between
+// evaluations; a cancelled search returns ctx.Err().
 type Searcher interface {
 	Name() string
-	Search(w Workload, lo, hi float64) (SearchResult, error)
+	Search(ctx context.Context, w Workload, lo, hi float64) (SearchResult, error)
 }
 
 // evalTracker memoizes Evaluate calls and accumulates search cost, so
 // composite strategies do not double-charge repeated thresholds.
 type evalTracker struct {
+	ctx   context.Context
 	w     Workload
-	seen  map[int64]EvalPoint // keyed by rounded millipercent
+	seen  map[int64]EvalPoint // keyed by rounded micropercent
 	res   SearchResult
 	first bool
 }
 
-func newEvalTracker(w Workload) *evalTracker {
-	return &evalTracker{w: w, seen: make(map[int64]EvalPoint), first: true}
+func newEvalTracker(ctx context.Context, w Workload) *evalTracker {
+	return &evalTracker{ctx: ctx, w: w, seen: make(map[int64]EvalPoint), first: true}
 }
 
-func key(t float64) int64 { return int64(t*1000 + 0.5) }
+// key buckets a threshold at micropercent resolution. math.Round keeps
+// the bucketing symmetric for negative thresholds (custom Ranger
+// ranges may extend below zero) and the 1e6 scale separates
+// sub-millipercent grids that a millipercent key would collapse.
+func key(t float64) int64 { return int64(math.Round(t * 1e6)) }
 
 func (e *evalTracker) eval(t float64) (time.Duration, error) {
+	if err := e.ctx.Err(); err != nil {
+		return 0, err
+	}
 	if p, ok := e.seen[key(t)]; ok {
 		return p.Time, nil
 	}
@@ -151,6 +162,29 @@ func (e *evalTracker) result() (SearchResult, error) {
 	return e.res, nil
 }
 
+// sweep evaluates lo, lo+step, ... and always finishes with hi itself.
+// The grid is integer-indexed rather than accumulated (t += step
+// drifts: 0.1 has no exact binary representation, so a thousand
+// additions can overshoot hi and silently drop the final — often
+// optimal — endpoint).
+func sweep(e *evalTracker, lo, hi, step float64) error {
+	if hi < lo {
+		return nil
+	}
+	n := int(math.Floor((hi-lo)/step + 1e-9))
+	for i := 0; i <= n; i++ {
+		t := lo + float64(i)*step
+		if t > hi {
+			t = hi // guard the epsilon in n against overshooting
+		}
+		if _, err := e.eval(t); err != nil {
+			return err
+		}
+	}
+	_, err := e.eval(hi)
+	return err
+}
+
 // Exhaustive evaluates every threshold from lo to hi in steps of Step
 // (default 1). This is the paper's baseline "best possible threshold
 // obtained via an exhaustive search"; on full inputs it is the
@@ -170,12 +204,10 @@ func (s Exhaustive) step() float64 {
 }
 
 // Search implements Searcher.
-func (s Exhaustive) Search(w Workload, lo, hi float64) (SearchResult, error) {
-	e := newEvalTracker(w)
-	for t := lo; t <= hi+1e-9; t += s.step() {
-		if _, err := e.eval(t); err != nil {
-			return SearchResult{}, err
-		}
+func (s Exhaustive) Search(ctx context.Context, w Workload, lo, hi float64) (SearchResult, error) {
+	e := newEvalTracker(ctx, w)
+	if err := sweep(e, lo, hi, s.step()); err != nil {
+		return SearchResult{}, err
 	}
 	return e.result()
 }
@@ -209,15 +241,9 @@ func (s CoarseToFine) fine() float64 {
 }
 
 // Search implements Searcher.
-func (s CoarseToFine) Search(w Workload, lo, hi float64) (SearchResult, error) {
-	e := newEvalTracker(w)
-	for t := lo; t <= hi+1e-9; t += s.coarse() {
-		if _, err := e.eval(t); err != nil {
-			return SearchResult{}, err
-		}
-	}
-	// Always include the right endpoint in the coarse pass.
-	if _, err := e.eval(hi); err != nil {
+func (s CoarseToFine) Search(ctx context.Context, w Workload, lo, hi float64) (SearchResult, error) {
+	e := newEvalTracker(ctx, w)
+	if err := sweep(e, lo, hi, s.coarse()); err != nil {
 		return SearchResult{}, err
 	}
 	center := e.res.Best
@@ -228,10 +254,8 @@ func (s CoarseToFine) Search(w Workload, lo, hi float64) (SearchResult, error) {
 	if fHi > hi {
 		fHi = hi
 	}
-	for t := fLo; t <= fHi+1e-9; t += s.fine() {
-		if _, err := e.eval(t); err != nil {
-			return SearchResult{}, err
-		}
+	if err := sweep(e, fLo, fHi, s.fine()); err != nil {
+		return SearchResult{}, err
 	}
 	return e.result()
 }
@@ -266,8 +290,8 @@ func (s GradientDescent) fine() float64 {
 }
 
 // Search implements Searcher.
-func (s GradientDescent) Search(w Workload, lo, hi float64) (SearchResult, error) {
-	e := newEvalTracker(w)
+func (s GradientDescent) Search(ctx context.Context, w Workload, lo, hi float64) (SearchResult, error) {
+	e := newEvalTracker(ctx, w)
 	cur := s.Start
 	if cur < lo || cur > hi {
 		cur = (lo + hi) / 2
@@ -335,16 +359,16 @@ func (s RaceThenFine) fine() float64 {
 }
 
 // Search implements Searcher.
-func (s RaceThenFine) Search(w Workload, lo, hi float64) (SearchResult, error) {
+func (s RaceThenFine) Search(ctx context.Context, w Workload, lo, hi float64) (SearchResult, error) {
 	re, ok := w.(RaceEstimator)
 	if !ok {
-		return CoarseToFine{}.Search(w, lo, hi)
+		return CoarseToFine{}.Search(ctx, w, lo, hi)
 	}
 	guess, raceCost, err := re.EstimateByRace()
 	if err != nil {
 		return SearchResult{}, fmt.Errorf("core: race estimate: %w", err)
 	}
-	e := newEvalTracker(w)
+	e := newEvalTracker(ctx, w)
 	e.res.Cost += raceCost
 	fLo, fHi := guess-s.window(), guess+s.window()
 	if fLo < lo {
@@ -353,10 +377,8 @@ func (s RaceThenFine) Search(w Workload, lo, hi float64) (SearchResult, error) {
 	if fHi > hi {
 		fHi = hi
 	}
-	for t := fLo; t <= fHi+1e-9; t += s.fine() {
-		if _, err := e.eval(t); err != nil {
-			return SearchResult{}, err
-		}
+	if err := sweep(e, fLo, fHi, s.fine()); err != nil {
+		return SearchResult{}, err
 	}
 	return e.result()
 }

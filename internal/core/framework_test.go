@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -56,7 +57,7 @@ func (w *sampledV) Extrapolate(t float64) float64 { return t + w.extraShift }
 
 func TestExhaustiveFindsMinimum(t *testing.T) {
 	w := &vWorkload{name: "v", opt: 37, base: time.Second, slope: 10 * time.Millisecond}
-	res, err := Exhaustive{}.Search(w, 0, 100)
+	res, err := Exhaustive{}.Search(context.Background(), w, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestExhaustiveFindsMinimum(t *testing.T) {
 
 func TestExhaustiveCustomStep(t *testing.T) {
 	w := &vWorkload{name: "v", opt: 40, base: time.Second, slope: time.Millisecond}
-	res, err := Exhaustive{Step: 10}.Search(w, 0, 100)
+	res, err := Exhaustive{Step: 10}.Search(context.Background(), w, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestExhaustiveCustomStep(t *testing.T) {
 func TestCoarseToFineFindsMinimum(t *testing.T) {
 	for _, opt := range []float64{0, 3, 13, 50, 87, 99, 100} {
 		w := &vWorkload{name: "v", opt: opt, base: time.Second, slope: 10 * time.Millisecond}
-		res, err := CoarseToFine{}.Search(w, 0, 100)
+		res, err := CoarseToFine{}.Search(context.Background(), w, 0, 100)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,7 +112,7 @@ func TestCoarseToFineFindsMinimum(t *testing.T) {
 func TestCoarseToFineNoDoubleCharge(t *testing.T) {
 	// Thresholds revisited by the fine pass must not be re-evaluated.
 	w := &vWorkload{name: "v", opt: 48, base: time.Second, slope: time.Millisecond}
-	res, err := CoarseToFine{}.Search(w, 0, 100)
+	res, err := CoarseToFine{}.Search(context.Background(), w, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestCoarseToFineNoDoubleCharge(t *testing.T) {
 func TestGradientDescentFindsMinimum(t *testing.T) {
 	for _, opt := range []float64{5, 33, 50, 72, 95} {
 		w := &vWorkload{name: "v", opt: opt, base: time.Second, slope: 10 * time.Millisecond}
-		res, err := GradientDescent{}.Search(w, 0, 100)
+		res, err := GradientDescent{}.Search(context.Background(), w, 0, 100)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func TestGradientDescentFindsMinimum(t *testing.T) {
 
 func TestGradientDescentCustomStart(t *testing.T) {
 	w := &vWorkload{name: "v", opt: 90, base: time.Second, slope: 10 * time.Millisecond}
-	res, err := GradientDescent{Start: 85}.Search(w, 0, 100)
+	res, err := GradientDescent{Start: 85}.Search(context.Background(), w, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestRaceThenFine(t *testing.T) {
 		vWorkload: vWorkload{name: "v", opt: 62, base: time.Second, slope: 10 * time.Millisecond},
 		raceGuess: 58, // coarse estimate within the window of the optimum
 	}
-	res, err := RaceThenFine{}.Search(w, 0, 100)
+	res, err := RaceThenFine{}.Search(context.Background(), w, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestRaceThenFine(t *testing.T) {
 func TestRaceThenFineFallback(t *testing.T) {
 	// Without RaceEstimator, falls back to coarse-to-fine.
 	w := &vWorkload{name: "v", opt: 25, base: time.Second, slope: 10 * time.Millisecond}
-	res, err := RaceThenFine{}.Search(w, 0, 100)
+	res, err := RaceThenFine{}.Search(context.Background(), w, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestRaceThenFineRaceError(t *testing.T) {
 		vWorkload: vWorkload{name: "v", opt: 10, base: time.Second, slope: time.Millisecond},
 		raceErr:   errors.New("boom"),
 	}
-	if _, err := (RaceThenFine{}).Search(w, 0, 100); err == nil {
+	if _, err := (RaceThenFine{}).Search(context.Background(), w, 0, 100); err == nil {
 		t.Error("race error swallowed")
 	}
 }
@@ -207,7 +208,7 @@ func TestRaceThenFineRaceError(t *testing.T) {
 func TestSearchPropagatesEvaluateError(t *testing.T) {
 	w := &vWorkload{name: "bad", fail: errors.New("device on fire")}
 	for _, s := range []Searcher{Exhaustive{}, CoarseToFine{}, GradientDescent{}} {
-		if _, err := s.Search(w, 0, 100); err == nil {
+		if _, err := s.Search(context.Background(), w, 0, 100); err == nil {
 			t.Errorf("%s swallowed evaluate error", s.Name())
 		}
 	}
@@ -226,7 +227,7 @@ func TestEstimateThreshold(t *testing.T) {
 		vWorkload:   vWorkload{name: "toy", opt: 42, base: time.Second, slope: 10 * time.Millisecond},
 		sampleShift: 1.5, // the sample's landscape is slightly off
 	}
-	est, err := EstimateThreshold(w, Config{Seed: 1})
+	est, err := EstimateThreshold(context.Background(), w, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestEstimateThresholdExtrapolationClamped(t *testing.T) {
 		vWorkload:  vWorkload{name: "toy", opt: 95, base: time.Second, slope: 10 * time.Millisecond},
 		extraShift: 50, // extrapolation pushes beyond 100
 	}
-	est, err := EstimateThreshold(w, Config{Seed: 2})
+	est, err := EstimateThreshold(context.Background(), w, Config{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestEstimateThresholdRepeats(t *testing.T) {
 	w := &sampledV{
 		vWorkload: vWorkload{name: "toy", opt: 30, base: time.Second, slope: 10 * time.Millisecond},
 	}
-	est, err := EstimateThreshold(w, Config{Seed: 3, Repeats: 5})
+	est, err := EstimateThreshold(context.Background(), w, Config{Seed: 3, Repeats: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,27 +280,27 @@ func TestEstimateThresholdRepeats(t *testing.T) {
 
 func TestEstimateThresholdErrors(t *testing.T) {
 	w := &sampledV{vWorkload: vWorkload{name: "toy", opt: 10}}
-	if _, err := EstimateThreshold(w, Config{Lo: 50, Hi: 50}); err == nil {
+	if _, err := EstimateThreshold(context.Background(), w, Config{Lo: 50, Hi: 50}); err == nil {
 		t.Error("empty range accepted")
 	}
 	w.sampleErr = errors.New("sample broke")
-	if _, err := EstimateThreshold(w, Config{}); err == nil {
+	if _, err := EstimateThreshold(context.Background(), w, Config{}); err == nil {
 		t.Error("sample error swallowed")
 	}
 	w.sampleErr = nil
 	w.fail = errors.New("eval broke") // full workload fails, sample is fine
-	if _, err := EstimateThreshold(w, Config{}); err != nil {
+	if _, err := EstimateThreshold(context.Background(), w, Config{}); err != nil {
 		t.Errorf("full-input evaluate should not be called: %v", err)
 	}
 }
 
 func TestEstimateThresholdDeterminism(t *testing.T) {
 	w := &sampledV{vWorkload: vWorkload{name: "toy", opt: 64, base: time.Second, slope: time.Millisecond}}
-	a, err := EstimateThreshold(w, Config{Seed: 9})
+	a, err := EstimateThreshold(context.Background(), w, Config{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := EstimateThreshold(w, Config{Seed: 9})
+	b, err := EstimateThreshold(context.Background(), w, Config{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +311,7 @@ func TestEstimateThresholdDeterminism(t *testing.T) {
 
 func TestExhaustiveBest(t *testing.T) {
 	w := &vWorkload{name: "v", opt: 77, base: time.Second, slope: 10 * time.Millisecond}
-	res, err := ExhaustiveBest(w, Config{})
+	res, err := ExhaustiveBest(context.Background(), w, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,4 +339,166 @@ func TestMedian(t *testing.T) {
 	if got := median([]float64{7}); got != 7 {
 		t.Errorf("median single = %v", got)
 	}
+}
+
+// --- Regression tests -------------------------------------------------
+
+// TestExhaustiveFractionalStepIncludesHi: accumulating `t += step`
+// drifts for fractional steps, so the old loop could finish on
+// 99.9999999999... and report that as Best instead of the exact hi
+// endpoint. The optimum sits at hi to make the drift observable.
+func TestExhaustiveFractionalStepIncludesHi(t *testing.T) {
+	w := &vWorkload{name: "v", opt: 100, base: time.Second, slope: 10 * time.Millisecond}
+	res, err := Exhaustive{Step: 0.1}.Search(context.Background(), w, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != 100 {
+		t.Errorf("best = %v, want exactly 100", res.Best)
+	}
+	if res.BestTime != time.Second {
+		t.Errorf("best time = %v, want 1s", res.BestTime)
+	}
+	// The grid itself must not drift: every curve point is an exact
+	// multiple of 0.1 (up to the memo resolution).
+	for _, p := range res.Curve {
+		scaled := p.T * 10
+		if math.Abs(scaled-math.Round(scaled)) > 1e-6 {
+			t.Fatalf("grid point %v drifted off the 0.1 lattice", p.T)
+		}
+	}
+}
+
+// TestExhaustiveHiEndpointCoarseStep: hi must be evaluated even when
+// the step does not divide the range.
+func TestExhaustiveHiEndpointCoarseStep(t *testing.T) {
+	w := &vWorkload{name: "v", opt: 100, base: time.Second, slope: 10 * time.Millisecond}
+	res, err := Exhaustive{Step: 7}.Search(context.Background(), w, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != 100 {
+		t.Errorf("best = %v, want 100 (hi endpoint skipped)", res.Best)
+	}
+}
+
+// TestConfigDefaultsHiWhenLoSet: Config{Lo: 5} means "search [5, 100]",
+// not the empty range [5, 0].
+func TestConfigDefaultsHiWhenLoSet(t *testing.T) {
+	w := &sampledV{
+		vWorkload: vWorkload{name: "toy", opt: 50, base: time.Second, slope: 10 * time.Millisecond},
+	}
+	est, err := EstimateThreshold(context.Background(), w, Config{Lo: 5, Seed: 4})
+	if err != nil {
+		t.Fatalf("Config{Lo: 5} rejected: %v", err)
+	}
+	if est.Threshold < 5 || est.Threshold > 100 {
+		t.Errorf("threshold %v outside [5, 100]", est.Threshold)
+	}
+	if math.Abs(est.Threshold-50) > 1 {
+		t.Errorf("threshold = %v, want ~50", est.Threshold)
+	}
+}
+
+// TestEvalKeyResolution: the memo key must separate thresholds closer
+// than a millipercent and round negative thresholds symmetrically
+// (int64 truncation both merged and shifted them).
+func TestEvalKeyResolution(t *testing.T) {
+	if key(0.0001) == key(0.0004) {
+		t.Error("sub-millipercent thresholds collide")
+	}
+	if key(-1.0) == key(-0.9995) {
+		t.Error("nearby negative thresholds collide")
+	}
+	if key(-0.25) != -key(0.25) {
+		t.Errorf("negative rounding asymmetric: key(-0.25)=%d, key(0.25)=%d", key(-0.25), key(0.25))
+	}
+	if key(-1.0) != -1_000_000 {
+		t.Errorf("key(-1) = %d, want -1000000", key(-1.0))
+	}
+}
+
+// TestExhaustiveSubMillipercentGrid: with the old millipercent memo,
+// a sweep at step 0.0002 collapsed to 2 distinct evaluations.
+func TestExhaustiveSubMillipercentGrid(t *testing.T) {
+	w := &vWorkload{name: "v", opt: 0.0006, base: time.Second, slope: time.Minute}
+	res, err := Exhaustive{Step: 0.0002}.Search(context.Background(), w, 0, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != 6 {
+		t.Errorf("evals = %d, want 6 (memo collapsed the grid)", res.Evals)
+	}
+	if math.Abs(res.Best-0.0006) > 1e-9 {
+		t.Errorf("best = %v, want 0.0006", res.Best)
+	}
+}
+
+// countingWorkload counts Evaluate calls (for cancellation tests).
+type countingWorkload struct {
+	vWorkload
+	calls int
+}
+
+func (w *countingWorkload) Evaluate(t float64) (time.Duration, error) {
+	w.calls++
+	return w.vWorkload.Evaluate(t)
+}
+
+// TestSearchHonorsContext: every searcher must return promptly with
+// the context error and perform no evaluations on a dead context.
+func TestSearchHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, s := range []Searcher{Exhaustive{}, CoarseToFine{}, GradientDescent{}, RaceThenFine{}} {
+		w := &countingWorkload{vWorkload: vWorkload{name: "v", opt: 50, base: time.Second, slope: time.Millisecond}}
+		_, err := s.Search(ctx, w, 0, 100)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", s.Name(), err)
+		}
+		if w.calls != 0 {
+			t.Errorf("%s: %d evaluations on a cancelled context", s.Name(), w.calls)
+		}
+	}
+}
+
+func TestEstimateThresholdHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := &sampledV{vWorkload: vWorkload{name: "toy", opt: 30, base: time.Second, slope: time.Millisecond}}
+	if _, err := EstimateThreshold(ctx, w, Config{Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSearchDeadlineMidway: a deadline expiring during the sweep stops
+// the search with DeadlineExceeded rather than running to completion.
+func TestSearchDeadlineMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &cancelAfter{n: 5, cancel: cancel}
+	_, err := Exhaustive{}.Search(ctx, w, 0, 100)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if w.calls > 6 {
+		t.Errorf("search kept evaluating after cancellation: %d calls", w.calls)
+	}
+}
+
+// cancelAfter cancels its context after n evaluations.
+type cancelAfter struct {
+	n      int
+	calls  int
+	cancel context.CancelFunc
+}
+
+func (w *cancelAfter) Name() string { return "cancel-after" }
+
+func (w *cancelAfter) Evaluate(t float64) (time.Duration, error) {
+	w.calls++
+	if w.calls >= w.n {
+		w.cancel()
+	}
+	return time.Second, nil
 }

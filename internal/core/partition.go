@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -26,7 +27,11 @@ func (c Config) withDefaults() Config {
 	if c.Searcher == nil {
 		c.Searcher = CoarseToFine{}
 	}
-	if c.Hi == 0 && c.Lo == 0 {
+	// Hi is defaulted whenever it is unset, not only for the zero
+	// Config: Config{Lo: 5} means "search [5, 100]", not the empty
+	// range [5, 0]. A negative Lo with Hi == 0 is left alone — custom
+	// Ranger-style ranges may legitimately end at zero.
+	if c.Hi == 0 && c.Lo >= 0 {
 		c.Hi = 100
 	}
 	if c.Repeats <= 0 {
@@ -59,8 +64,10 @@ func (e *Estimate) Overhead() time.Duration { return e.SampleCost + e.IdentifyCo
 
 // EstimateThreshold runs the full Sample → Identify → Extrapolate
 // pipeline of Section II and returns the estimated threshold together
-// with its overhead accounting.
-func EstimateThreshold(w Sampled, cfg Config) (*Estimate, error) {
+// with its overhead accounting. The context bounds the whole pipeline:
+// cancellation is observed between samples and between threshold
+// evaluations inside the Identify search.
+func EstimateThreshold(ctx context.Context, w Sampled, cfg Config) (*Estimate, error) {
 	c := cfg.withDefaults()
 	fullLo, fullHi := rangeOf(w, c)
 	if fullLo >= fullHi {
@@ -70,13 +77,16 @@ func EstimateThreshold(w Sampled, cfg Config) (*Estimate, error) {
 	est := &Estimate{Repeats: c.Repeats}
 	sampleBests := make([]float64, 0, c.Repeats)
 	for rep := 0; rep < c.Repeats; rep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sw, sampleCost, err := w.Sample(r.Split())
 		if err != nil {
 			return nil, fmt.Errorf("core: sampling %s: %w", w.Name(), err)
 		}
 		est.SampleCost += sampleCost
 		lo, hi := rangeOf(sw, c)
-		res, err := c.Searcher.Search(sw, lo, hi)
+		res, err := c.Searcher.Search(ctx, sw, lo, hi)
 		if err != nil {
 			return nil, fmt.Errorf("core: identify on %s sample: %w", w.Name(), err)
 		}
@@ -127,10 +137,10 @@ func median(xs []float64) float64 {
 // returned SearchResult's Cost is the (large) simulated time such a
 // search would take — the cost the sampling framework avoids. A
 // workload implementing Ranger is searched over its own range.
-func ExhaustiveBest(w Workload, cfg Config) (SearchResult, error) {
+func ExhaustiveBest(ctx context.Context, w Workload, cfg Config) (SearchResult, error) {
 	c := cfg.withDefaults()
 	lo, hi := rangeOf(w, c)
-	return Exhaustive{Step: 1}.Search(w, lo, hi)
+	return Exhaustive{Step: 1}.Search(ctx, w, lo, hi)
 }
 
 // Baseline names used in reports.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -80,7 +81,7 @@ func (s CoordinateDescent) maxRounds() int {
 }
 
 // Search minimizes w over [lo, hi]^Dim starting from an equal split.
-func (s CoordinateDescent) Search(w VectorWorkload, lo, hi float64) (VectorSearchResult, error) {
+func (s CoordinateDescent) Search(ctx context.Context, w VectorWorkload, lo, hi float64) (VectorSearchResult, error) {
 	d := w.Dim()
 	if d <= 0 {
 		return VectorSearchResult{}, fmt.Errorf("core: vector workload %s has dimension %d", w.Name(), d)
@@ -91,6 +92,9 @@ func (s CoordinateDescent) Search(w VectorWorkload, lo, hi float64) (VectorSearc
 	}
 	res := VectorSearchResult{Best: append([]float64(nil), cur...)}
 	eval := func(t []float64) (time.Duration, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		dur, err := w.EvaluateVector(t)
 		if err != nil {
 			return 0, err
@@ -155,14 +159,14 @@ func (e *VectorEstimate) Overhead() time.Duration { return e.SampleCost + e.Iden
 
 // EstimateVectorThreshold runs Sample → Identify (coordinate descent)
 // → Extrapolate for a vector workload.
-func EstimateVectorThreshold(w SampledVector, cfg Config) (*VectorEstimate, error) {
+func EstimateVectorThreshold(ctx context.Context, w SampledVector, cfg Config) (*VectorEstimate, error) {
 	c := cfg.withDefaults()
 	r := xrand.New(c.Seed)
 	sw, sampleCost, err := w.SampleVector(r.Split())
 	if err != nil {
 		return nil, fmt.Errorf("core: sampling %s: %w", w.Name(), err)
 	}
-	sr, err := (CoordinateDescent{}).Search(sw, c.Lo, c.Hi)
+	sr, err := (CoordinateDescent{}).Search(ctx, sw, c.Lo, c.Hi)
 	if err != nil {
 		return nil, fmt.Errorf("core: identify on %s sample: %w", w.Name(), err)
 	}

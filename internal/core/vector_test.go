@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -66,7 +67,7 @@ func TestCoordinateDescentFindsVectorOptimum(t *testing.T) {
 		{50},
 	} {
 		w := &bowl{name: "bowl", opt: opt}
-		res, err := (CoordinateDescent{}).Search(w, 0, 100)
+		res, err := (CoordinateDescent{}).Search(context.Background(), w, 0, 100)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,7 +81,7 @@ func TestCoordinateDescentFindsVectorOptimum(t *testing.T) {
 
 func TestCoordinateDescentBoundaryOptimum(t *testing.T) {
 	w := &bowl{name: "edge", opt: []float64{0, 100}}
-	res, err := (CoordinateDescent{}).Search(w, 0, 100)
+	res, err := (CoordinateDescent{}).Search(context.Background(), w, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +92,11 @@ func TestCoordinateDescentBoundaryOptimum(t *testing.T) {
 
 func TestCoordinateDescentErrors(t *testing.T) {
 	w := &bowl{name: "bad", opt: []float64{10}, fail: errors.New("boom")}
-	if _, err := (CoordinateDescent{}).Search(w, 0, 100); err == nil {
+	if _, err := (CoordinateDescent{}).Search(context.Background(), w, 0, 100); err == nil {
 		t.Error("evaluate error swallowed")
 	}
 	empty := &bowl{name: "empty"}
-	if _, err := (CoordinateDescent{}).Search(empty, 0, 100); err == nil {
+	if _, err := (CoordinateDescent{}).Search(context.Background(), empty, 0, 100); err == nil {
 		t.Error("zero-dim workload accepted")
 	}
 }
@@ -105,7 +106,7 @@ func TestEstimateVectorThreshold(t *testing.T) {
 		bowl:  bowl{name: "v", opt: []float64{30, 55}},
 		shift: 3,
 	}
-	est, err := EstimateVectorThreshold(w, Config{Seed: 1})
+	est, err := EstimateVectorThreshold(context.Background(), w, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestEstimateVectorThresholdClampsAndErrors(t *testing.T) {
 		bowl:  bowl{name: "v", opt: []float64{2, 99}},
 		shift: 10, // extrapolation pushes below 0
 	}
-	est, err := EstimateVectorThreshold(w, Config{Seed: 2})
+	est, err := EstimateVectorThreshold(context.Background(), w, Config{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestEstimateVectorThresholdClampsAndErrors(t *testing.T) {
 		}
 	}
 	w.sampleErr = errors.New("sample broke")
-	if _, err := EstimateVectorThreshold(w, Config{}); err == nil {
+	if _, err := EstimateVectorThreshold(context.Background(), w, Config{}); err == nil {
 		t.Error("sample error swallowed")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -54,14 +55,14 @@ func AblationSampler(opts Options) (*AblationSamplerResult, error) {
 			return AblationSamplerRow{}, err
 		}
 		w := hetcc.NewWorkload(name, g, alg)
-		best, err := core.ExhaustiveBest(w, core.Config{})
+		best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 		if err != nil {
 			return AblationSamplerRow{}, err
 		}
 		row := AblationSamplerRow{Dataset: name, Exhaustive: best.Best, ExhaustiveTime: best.BestTime}
 
 		contracted := hetcc.NewWorkload(name, g, alg)
-		est, err := core.EstimateThreshold(contracted, core.Config{Seed: o.Seed ^ hashName(name), Repeats: o.Repeats})
+		est, err := core.EstimateThreshold(context.Background(), contracted, core.Config{Seed: o.Seed ^ hashName(name), Repeats: o.Repeats})
 		if err != nil {
 			return AblationSamplerRow{}, err
 		}
@@ -72,7 +73,7 @@ func AblationSampler(opts Options) (*AblationSamplerResult, error) {
 
 		induced := hetcc.NewWorkload(name, g, alg)
 		induced.Induced = true
-		est, err = core.EstimateThreshold(induced, core.Config{Seed: o.Seed ^ hashName(name), Repeats: o.Repeats})
+		est, err = core.EstimateThreshold(context.Background(), induced, core.Config{Seed: o.Seed ^ hashName(name), Repeats: o.Repeats})
 		if err != nil {
 			return AblationSamplerRow{}, err
 		}
@@ -83,7 +84,7 @@ func AblationSampler(opts Options) (*AblationSamplerResult, error) {
 
 		importance := hetcc.NewWorkload(name, g, alg)
 		importance.Importance = true
-		est, err = core.EstimateThreshold(importance, core.Config{Seed: o.Seed ^ hashName(name), Repeats: o.Repeats})
+		est, err = core.EstimateThreshold(context.Background(), importance, core.Config{Seed: o.Seed ^ hashName(name), Repeats: o.Repeats})
 		if err != nil {
 			return AblationSamplerRow{}, err
 		}
@@ -159,7 +160,7 @@ func AblationSearcher(opts Options) (*AblationSearcherResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		exh, err := core.ExhaustiveBest(w, core.Config{})
+		exh, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 		if err != nil {
 			return nil, err
 		}
@@ -169,7 +170,7 @@ func AblationSearcher(opts Options) (*AblationSearcherResult, error) {
 			core.GradientDescent{},
 			core.RaceThenFine{Window: 4},
 		} {
-			sr, err := s.Search(w, 0, 100)
+			sr, err := s.Search(context.Background(), w, 0, 100)
 			if err != nil {
 				return nil, fmt.Errorf("ablation %s/%s: %w", name, s.Name(), err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -56,11 +57,11 @@ func Fig3(opts Options) (*Fig3Result, error) {
 }
 
 func ccCase(name string, w *hetcc.Workload, alg *hetcc.Algorithm, o Options) (CaseRow, error) {
-	best, err := core.ExhaustiveBest(w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 	if err != nil {
 		return CaseRow{}, fmt.Errorf("fig3 %s exhaustive: %w", name, err)
 	}
-	est, err := core.EstimateThreshold(w, core.Config{
+	est, err := core.EstimateThreshold(context.Background(), w, core.Config{
 		Seed:    o.Seed ^ hashName(name),
 		Repeats: o.Repeats,
 	})
@@ -164,7 +165,7 @@ func ccSensitivity(name string, g *graph.Graph, alg *hetcc.Algorithm, o Options)
 		}
 		w := hetcc.NewWorkload(name, g, alg)
 		w.SampleSize = size
-		est, err := core.EstimateThreshold(w, core.Config{
+		est, err := core.EstimateThreshold(context.Background(), w, core.Config{
 			Seed:    o.Seed ^ hashName(name) ^ uint64(size),
 			Repeats: o.Repeats,
 		})

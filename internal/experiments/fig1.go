@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -46,11 +47,11 @@ func Fig1(opts Options) (*Fig1Result, error) {
 		if err != nil {
 			return Fig1Row{}, err
 		}
-		best, err := core.ExhaustiveBest(w, core.Config{})
+		best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 		if err != nil {
 			return Fig1Row{}, err
 		}
-		est, err := core.EstimateThreshold(w, core.Config{
+		est, err := core.EstimateThreshold(context.Background(), w, core.Config{
 			Seed:    o.Seed ^ uint64(n),
 			Repeats: o.Repeats,
 		})

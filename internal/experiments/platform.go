@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -60,11 +61,11 @@ func AblationPlatform(opts Options) (*AblationPlatformResult, error) {
 			}
 			alg := hetcc.NewAlgorithm(platform)
 			w := hetcc.NewWorkload(dn, g, alg)
-			best, err := core.ExhaustiveBest(w, core.Config{})
+			best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 			if err != nil {
 				return nil, fmt.Errorf("platform %s: %w", pn, err)
 			}
-			est, err := core.EstimateThreshold(w, core.Config{
+			est, err := core.EstimateThreshold(context.Background(), w, core.Config{
 				Seed:    o.Seed ^ hashName(pn+dn),
 				Repeats: o.Repeats,
 			})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -59,11 +60,11 @@ func Fig8(opts Options) (*Fig8Result, error) {
 }
 
 func scaleFreeCase(name string, w *hetscale.Workload, o Options) (CaseRow, error) {
-	best, err := core.ExhaustiveBest(w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 	if err != nil {
 		return CaseRow{}, fmt.Errorf("fig8 %s exhaustive: %w", name, err)
 	}
-	est, err := core.EstimateThreshold(w, core.Config{
+	est, err := core.EstimateThreshold(context.Background(), w, core.Config{
 		Searcher: scaleFreeSearcher(),
 		Seed:     o.Seed ^ hashName(name),
 		Repeats:  o.Repeats,
@@ -178,7 +179,7 @@ func scaleFreeSensitivity(name string, m *sparse.CSR, alg *hetscale.Algorithm, o
 			return s, err
 		}
 		w.SampleRows = size
-		est, err := core.EstimateThreshold(w, core.Config{
+		est, err := core.EstimateThreshold(context.Background(), w, core.Config{
 			Searcher: scaleFreeSearcher(),
 			Seed:     o.Seed ^ hashName(name) ^ uint64(size),
 			Repeats:  o.Repeats,

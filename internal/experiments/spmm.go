@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -59,11 +60,11 @@ func Fig5(opts Options) (*Fig5Result, error) {
 }
 
 func spmmCase(name string, w *hetspmm.Workload, o Options) (CaseRow, error) {
-	best, err := core.ExhaustiveBest(w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 	if err != nil {
 		return CaseRow{}, fmt.Errorf("fig5 %s exhaustive: %w", name, err)
 	}
-	est, err := core.EstimateThreshold(w, core.Config{
+	est, err := core.EstimateThreshold(context.Background(), w, core.Config{
 		Searcher: spmmSearcher(),
 		Seed:     o.Seed ^ hashName(name),
 		Repeats:  o.Repeats,
@@ -159,7 +160,7 @@ func spmmSensitivity(name string, m *sparse.CSR, alg *hetspmm.Algorithm, o Optio
 		if w.SampleDivisor < 1 {
 			w.SampleDivisor = 1
 		}
-		est, err := core.EstimateThreshold(w, core.Config{
+		est, err := core.EstimateThreshold(context.Background(), w, core.Config{
 			Searcher: spmmSearcher(),
 			Seed:     o.Seed ^ hashName(name) ^ uint64(size),
 			Repeats:  o.Repeats,
@@ -232,7 +233,7 @@ func Fig7(opts Options) (*Fig7Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		best, err := core.ExhaustiveBest(w, core.Config{})
+		best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 		if err != nil {
 			return nil, err
 		}
@@ -249,7 +250,7 @@ func Fig7(opts Options) (*Fig7Result, error) {
 			return nil
 		}
 		// Random sample estimate (the framework's default).
-		est, err := core.EstimateThreshold(w, core.Config{
+		est, err := core.EstimateThreshold(context.Background(), w, core.Config{
 			Searcher: spmmSearcher(),
 			Seed:     o.Seed ^ hashName(name),
 			Repeats:  o.Repeats,
@@ -275,7 +276,7 @@ func Fig7(opts Options) (*Fig7Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			sr, err := spmmSearcher().Search(bw, 0, 100)
+			sr, err := spmmSearcher().Search(context.Background(), bw, 0, 100)
 			if err != nil {
 				return nil, err
 			}

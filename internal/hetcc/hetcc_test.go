@@ -1,6 +1,7 @@
 package hetcc
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -169,7 +170,7 @@ func TestOptimumIsInputDependent(t *testing.T) {
 	alg := NewAlgorithm(hetsim.Default())
 	bestShare := func(g *graph.Graph) float64 {
 		w := NewWorkload("x", g, alg)
-		res, err := core.ExhaustiveBest(w, core.Config{})
+		res, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -253,11 +254,11 @@ func TestEndToEndEstimateNearExhaustive(t *testing.T) {
 	alg := NewAlgorithm(hetsim.Default())
 	w := NewWorkload("rmat", g, alg)
 	w.SampleSize = 4 * DefaultSampleSize(g.N) // denser sample stabilizes the landscape
-	est, err := core.EstimateThreshold(w, core.Config{Seed: 5, Repeats: 3})
+	est, err := core.EstimateThreshold(context.Background(), w, core.Config{Seed: 5, Repeats: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	best, err := core.ExhaustiveBest(w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +319,7 @@ func TestImportanceSamplerVariant(t *testing.T) {
 			sub.Arcs(), sub.N, uniSub.Arcs(), uniSub.N)
 	}
 	// And the estimate pipeline works end to end.
-	est, err := core.EstimateThreshold(w, core.Config{Seed: 7})
+	est, err := core.EstimateThreshold(context.Background(), w, core.Config{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package hetcc
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -77,7 +78,7 @@ func TestMultiSecondGPUHelps(t *testing.T) {
 	g := testGraph(t, graph.KindMesh, 12000, 48000, 37)
 	alg := NewMultiAlgorithm(hetsim.DefaultMulti(2))
 	w := NewMultiWorkload("mesh", g, alg)
-	both, err := (core.CoordinateDescent{}).Search(w, 0, 100)
+	both, err := (core.CoordinateDescent{}).Search(context.Background(), w, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestMultiVectorEstimate(t *testing.T) {
 	alg := NewMultiAlgorithm(hetsim.DefaultMulti(2))
 	w := NewMultiWorkload("rmat", g, alg)
 	w.SampleSize = 4 * DefaultSampleSize(g.N)
-	est, err := core.EstimateVectorThreshold(w, core.Config{Seed: 9})
+	est, err := core.EstimateVectorThreshold(context.Background(), w, core.Config{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestMultiVectorEstimate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := (core.CoordinateDescent{}).Search(w, 0, 100)
+	full, err := (core.CoordinateDescent{}).Search(context.Background(), w, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestCoordinateDescentOnScalarizableLandscape(t *testing.T) {
 	// Degenerate vector workload with an additive landscape: optimum
 	// at (30, 50).
 	w := &quadVec{opt: []float64{30, 50}}
-	res, err := (core.CoordinateDescent{}).Search(w, 0, 100)
+	res, err := (core.CoordinateDescent{}).Search(context.Background(), w, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}

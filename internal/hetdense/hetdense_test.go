@@ -1,6 +1,7 @@
 package hetdense
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -65,7 +66,7 @@ func TestOptimumNearFLOPSRatio(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best, err := core.ExhaustiveBest(w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +82,11 @@ func TestSamplingAgreesOnRegularWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := core.EstimateThreshold(w, core.Config{Seed: 3})
+	est, err := core.EstimateThreshold(context.Background(), w, core.Config{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	best, err := core.ExhaustiveBest(w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestGPUWinsBulkOfDenseWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best, err := core.ExhaustiveBest(w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

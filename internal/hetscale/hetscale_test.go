@@ -1,6 +1,7 @@
 package hetscale
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -184,7 +185,7 @@ func TestInteriorOptimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best, err := core.ExhaustiveBest(w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestEndToEndEstimate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := core.EstimateThreshold(w, core.Config{
+	est, err := core.EstimateThreshold(context.Background(), w, core.Config{
 		Searcher: core.GradientDescent{},
 		Seed:     3,
 		Repeats:  3,
@@ -261,7 +262,7 @@ func TestEndToEndEstimate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best, err := core.ExhaustiveBest(w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

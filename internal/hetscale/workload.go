@@ -1,6 +1,7 @@
 package hetscale
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -130,7 +131,7 @@ func FitExtrapolation(ws []*Workload, seed uint64) (c, p float64, err error) {
 	ta := make([]float64, 0, len(ws))
 	r := xrand.New(seed)
 	for _, w := range ws {
-		full, err := core.ExhaustiveBest(w, core.Config{})
+		full, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 		if err != nil {
 			return 0, 0, err
 		}
@@ -138,7 +139,7 @@ func FitExtrapolation(ws []*Workload, seed uint64) (c, p float64, err error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		sample, err := core.ExhaustiveBest(sw, core.Config{})
+		sample, err := core.ExhaustiveBest(context.Background(), sw, core.Config{})
 		if err != nil {
 			return 0, 0, err
 		}

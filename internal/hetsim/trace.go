@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -30,17 +31,39 @@ type TraceEntry struct {
 // ready to use. Traces are how the experiments separate estimation
 // overhead (sample+identify+extrapolate phases) from computation time,
 // the paper's "Overhead %" column.
+//
+// All methods are safe for concurrent use, so one Trace can collect
+// entries from workloads evaluated in parallel (the serving layer's
+// worker pool does exactly that). Direct reads of Entries are only
+// safe once all writers have finished; concurrent readers should use
+// Snapshot.
 type Trace struct {
+	mu      sync.Mutex
 	Entries []TraceEntry
 }
 
 // Add records a phase.
 func (t *Trace) Add(phase, device string, d time.Duration) {
+	t.mu.Lock()
 	t.Entries = append(t.Entries, TraceEntry{Phase: phase, Device: device, Duration: d})
+	t.mu.Unlock()
 }
 
-// Total returns the sum of all entries.
-func (t *Trace) Total() time.Duration {
+// Snapshot returns a copy of the entries recorded so far.
+func (t *Trace) Snapshot() []TraceEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEntry(nil), t.Entries...)
+}
+
+// Len returns the number of recorded entries.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.Entries)
+}
+
+func (t *Trace) totalLocked() time.Duration {
 	var sum time.Duration
 	for _, e := range t.Entries {
 		sum += e.Duration
@@ -48,8 +71,14 @@ func (t *Trace) Total() time.Duration {
 	return sum
 }
 
-// PhaseTotal returns the sum of entries with the given phase name.
-func (t *Trace) PhaseTotal(phase string) time.Duration {
+// Total returns the sum of all entries.
+func (t *Trace) Total() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.totalLocked()
+}
+
+func (t *Trace) phaseTotalLocked(phase string) time.Duration {
 	var sum time.Duration
 	for _, e := range t.Entries {
 		if e.Phase == phase {
@@ -59,11 +88,20 @@ func (t *Trace) PhaseTotal(phase string) time.Duration {
 	return sum
 }
 
+// PhaseTotal returns the sum of entries with the given phase name.
+func (t *Trace) PhaseTotal(phase string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.phaseTotalLocked(phase)
+}
+
 // EstimationOverhead returns the time spent in the sampling pipeline
 // (sample, identify, extrapolate) and its fraction of the total.
 func (t *Trace) EstimationOverhead() (time.Duration, float64) {
-	est := t.PhaseTotal(PhaseSample) + t.PhaseTotal(PhaseIdentify) + t.PhaseTotal(PhaseExtrapolate)
-	total := t.Total()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	est := t.phaseTotalLocked(PhaseSample) + t.phaseTotalLocked(PhaseIdentify) + t.phaseTotalLocked(PhaseExtrapolate)
+	total := t.totalLocked()
 	if total == 0 {
 		return est, 0
 	}
@@ -72,25 +110,34 @@ func (t *Trace) EstimationOverhead() (time.Duration, float64) {
 
 // Merge appends all entries of other.
 func (t *Trace) Merge(other *Trace) {
-	t.Entries = append(t.Entries, other.Entries...)
+	if t == other {
+		return
+	}
+	entries := other.Snapshot()
+	t.mu.Lock()
+	t.Entries = append(t.Entries, entries...)
+	t.mu.Unlock()
 }
 
 // String renders the trace as an aligned per-phase summary.
 func (t *Trace) String() string {
+	entries := t.Snapshot()
 	totals := map[string]time.Duration{}
 	order := []string{}
-	for _, e := range t.Entries {
+	var grand time.Duration
+	for _, e := range entries {
 		key := e.Phase + "/" + e.Device
 		if _, ok := totals[key]; !ok {
 			order = append(order, key)
 		}
 		totals[key] += e.Duration
+		grand += e.Duration
 	}
 	sort.Strings(order)
 	var sb strings.Builder
 	for _, key := range order {
 		fmt.Fprintf(&sb, "%-24s %12v\n", key, totals[key])
 	}
-	fmt.Fprintf(&sb, "%-24s %12v\n", "total", t.Total())
+	fmt.Fprintf(&sb, "%-24s %12v\n", "total", grand)
 	return sb.String()
 }

@@ -1,0 +1,80 @@
+package hetsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceConcurrentAdd hammers one Trace from many goroutines; run
+// under -race this is the regression test for the unsynchronized
+// append the serving layer's worker pool would otherwise trip over.
+func TestTraceConcurrentAdd(t *testing.T) {
+	const (
+		workers = 8
+		perG    = 500
+	)
+	var tr Trace
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tr.Add(PhaseCompute, "cpu", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len(); got != workers*perG {
+		t.Errorf("entries = %d, want %d", got, workers*perG)
+	}
+	if got := tr.Total(); got != workers*perG*time.Microsecond {
+		t.Errorf("total = %v", got)
+	}
+}
+
+// TestTraceConcurrentMergeAndRead mixes writers with readers of the
+// aggregate views.
+func TestTraceConcurrentMergeAndRead(t *testing.T) {
+	var dst Trace
+	var src Trace
+	src.Add(PhaseSample, "cpu", time.Millisecond)
+	src.Add(PhaseCompute, "gpu", 2*time.Millisecond)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				dst.Merge(&src)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = dst.Total()
+				_, _ = dst.EstimationOverhead()
+				_ = dst.String()
+				_ = dst.PhaseTotal(PhaseSample)
+				_ = dst.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := dst.Len(); got != 4*200*2 {
+		t.Errorf("entries = %d, want %d", got, 4*200*2)
+	}
+}
+
+// TestTraceMergeSelf must not deadlock or duplicate entries.
+func TestTraceMergeSelf(t *testing.T) {
+	var tr Trace
+	tr.Add(PhaseCompute, "cpu", time.Millisecond)
+	tr.Merge(&tr)
+	if got := tr.Len(); got != 1 {
+		t.Errorf("self-merge entries = %d, want 1", got)
+	}
+}

@@ -1,6 +1,7 @@
 package hetspmm
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -180,7 +181,7 @@ func TestTimeLandscapeInterior(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best, err := core.ExhaustiveBest(w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestEstimateByRace(t *testing.T) {
 	}
 	// The race guess should be within shouting distance of the true
 	// optimum (it is the coarse stage; ±15 is fine).
-	best, err := core.ExhaustiveBest(w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,14 +291,14 @@ func TestEndToEndEstimate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		est, err := core.EstimateThreshold(w, core.Config{
+		est, err := core.EstimateThreshold(context.Background(), w, core.Config{
 			Searcher: core.RaceThenFine{},
 			Seed:     7,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		best, err := core.ExhaustiveBest(w, core.Config{})
+		best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -321,11 +322,11 @@ func TestDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e1, err := core.EstimateThreshold(w, core.Config{Seed: 11})
+	e1, err := core.EstimateThreshold(context.Background(), w, core.Config{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
-	e2, err := core.EstimateThreshold(w, core.Config{Seed: 11})
+	e2, err := core.EstimateThreshold(context.Background(), w, core.Config{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,12 +17,62 @@ package mmio
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
 )
+
+// ErrTooLarge is returned by ReadLimited when the input exceeds the
+// byte limit. Callers serving untrusted uploads should test for it
+// with errors.Is and map it to a "payload too large" response.
+var ErrTooLarge = errors.New("mmio: input exceeds size limit")
+
+// limitedReader yields ErrTooLarge once more than max bytes have been
+// consumed, unlike io.LimitReader whose silent EOF would surface as a
+// confusing parse error mid-entry.
+type limitedReader struct {
+	r   io.Reader
+	max int64
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if l.max <= 0 {
+		// The budget is spent: distinguish "stream ended exactly at
+		// the limit" (EOF) from "more data remains" (ErrTooLarge) by
+		// probing one byte.
+		var one [1]byte
+		for {
+			m, err := l.r.Read(one[:])
+			if m > 0 {
+				return 0, ErrTooLarge
+			}
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	if int64(len(p)) > l.max {
+		p = p[:l.max]
+	}
+	n, err := l.r.Read(p)
+	l.max -= int64(n)
+	return n, err
+}
+
+// ReadLimited parses a Matrix Market stream, failing with ErrTooLarge
+// if the stream holds more than maxBytes bytes. maxBytes <= 0 means no
+// limit. This is the entry point for untrusted uploads (the hetserve
+// daemon), where an unbounded Read would let one request exhaust
+// memory.
+func ReadLimited(r io.Reader, maxBytes int64) (*COO, error) {
+	if maxBytes <= 0 {
+		return Read(r)
+	}
+	return Read(&limitedReader{r: r, max: maxBytes})
+}
 
 // Field describes the value type of a Matrix Market file.
 type Field int
@@ -129,18 +179,21 @@ func Read(r io.Reader) (*COO, error) {
 	}
 }
 
-// nextDataLine returns the next non-comment, non-blank line.
+// nextDataLine returns the next non-comment, non-blank line. A partial
+// final line is accepted only at io.EOF (files without a trailing
+// newline); any other error — e.g. ErrTooLarge from a limited reader —
+// must not let a truncated token parse as a shorter valid one.
 func nextDataLine(br *bufio.Reader) (string, error) {
 	for {
 		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return "", err
+		}
 		trimmed := strings.TrimSpace(line)
 		if trimmed != "" && !strings.HasPrefix(trimmed, "%") {
 			return trimmed, nil
 		}
 		if err != nil {
-			if err == io.EOF && trimmed != "" {
-				return trimmed, nil
-			}
 			return "", err
 		}
 	}

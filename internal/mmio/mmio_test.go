@@ -2,6 +2,7 @@ package mmio
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -225,5 +226,41 @@ func TestHeaderCaseInsensitive(t *testing.T) {
 	src := "%%MatrixMarket MATRIX Coordinate REAL General\n1 1 1\n1 1 2\n"
 	if _, err := Read(strings.NewReader(src)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestReadLimited(t *testing.T) {
+	src := "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.5\n2 2 2.5\n"
+
+	// Under and exactly at the limit: parses normally.
+	for _, limit := range []int64{int64(len(src)), int64(len(src)) + 100, 0, -1} {
+		c, err := ReadLimited(strings.NewReader(src), limit)
+		if err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		if c.NNZ() != 2 {
+			t.Fatalf("limit %d: nnz = %d", limit, c.NNZ())
+		}
+	}
+
+	// One byte over the limit: rejected with ErrTooLarge.
+	if _, err := ReadLimited(strings.NewReader(src), int64(len(src))-1); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize error = %v, want ErrTooLarge", err)
+	}
+	if _, err := ReadLimited(strings.NewReader(src), 10); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("tiny limit error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestReadLimitedNoTrailingNewline(t *testing.T) {
+	// A stream ending exactly at the limit without a trailing newline
+	// must parse (EOF, not ErrTooLarge).
+	src := "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 3.5"
+	c, err := ReadLimited(strings.NewReader(src), int64(len(src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Vals[0] != 3.5 {
+		t.Fatalf("value = %v", c.Vals[0])
 	}
 }

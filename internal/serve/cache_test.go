@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := NewLRU(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived past capacity")
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Errorf("a = %v, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v.(int) != 3 {
+		t.Errorf("c = %v, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestLRUUpdateRefreshes(t *testing.T) {
+	c := NewLRU(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // refresh: "b" becomes LRU
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should be evicted")
+	}
+	if v, _ := c.Get("a"); v.(int) != 10 {
+		t.Errorf("a = %v, want 10", v)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := NewLRU(0)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Error("zero-capacity cache stored a value")
+	}
+	if c.Len() != 0 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%32)
+				c.Put(k, i)
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Errorf("len = %d exceeds capacity", c.Len())
+	}
+}

@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/hetsim"
+	"repro/internal/mmio"
+	"repro/internal/sparse"
+)
+
+// EstimateResponse is the JSON answer of /estimate. Durations are
+// reported both as nanoseconds (machine-readable) and human strings.
+type EstimateResponse struct {
+	Workload        string  `json:"workload"`
+	Input           string  `json:"input"`
+	Searcher        string  `json:"searcher"`
+	Seed            uint64  `json:"seed"`
+	Repeats         int     `json:"repeats"`
+	Threshold       float64 `json:"threshold"`
+	SampleThreshold float64 `json:"sample_threshold"`
+	Evals           int     `json:"evals"`
+
+	RunTimeNS  int64  `json:"run_time_simulated_ns"`
+	RunTime    string `json:"run_time_simulated"`
+	SampleNS   int64  `json:"sample_cost_ns"`
+	IdentifyNS int64  `json:"identify_cost_ns"`
+	OverheadNS int64  `json:"overhead_simulated_ns"`
+	Overhead   string `json:"overhead_simulated"`
+	// OverheadPct is estimation overhead as a percentage of overhead +
+	// run time, the paper's "Overhead %" column.
+	OverheadPct float64 `json:"overhead_pct"`
+
+	// Cached reports whether this answer came from the result cache.
+	Cached bool `json:"cached"`
+	// WallMS is the server-side handling time of this request.
+	WallMS float64 `json:"wall_ms"`
+}
+
+type httpError struct {
+	code int
+	err  error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	workload := r.URL.Query().Get("workload")
+	if workload == "" {
+		workload = WorkloadCC
+	}
+	done := s.metrics.RequestStarted(workload)
+	code := http.StatusOK
+
+	resp, err := s.estimate(w, r, workload)
+	if err != nil {
+		var he *httpError
+		if errors.As(err, &he) {
+			code = he.code
+		} else {
+			code = statusFor(err)
+		}
+		s.cfg.Logf("hetserve: %s %s: %v (HTTP %d)", r.Method, r.URL.Path, err, code)
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+		done(code, time.Since(start))
+		return
+	}
+	resp.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+	writeJSON(w, http.StatusOK, resp)
+	done(code, time.Since(start))
+}
+
+// estimate parses the request, consults the cache, and runs the
+// pipeline under the worker pool on a miss.
+func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload string) (*EstimateResponse, error) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		return nil, &httpError{code: http.StatusMethodNotAllowed, err: fmt.Errorf("method %s not allowed", r.Method)}
+	}
+	q := r.URL.Query()
+
+	seed := uint64(42)
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil, badRequest("bad seed %q: %v", v, err)
+		}
+		seed = n
+	}
+	repeats := 3
+	if v := q.Get("repeats"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 99 {
+			return nil, badRequest("bad repeats %q (want 1..99)", v)
+		}
+		repeats = n
+	}
+	searcher, err := searcherFor(workload, q.Get("searcher"))
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+
+	// Resolve the input: an uploaded MatrixMarket body (POST) or a
+	// named Table II dataset (GET).
+	var (
+		input string // reported name
+		key   string // cache key component identifying the input
+		body  []byte
+	)
+	if r.Method == http.MethodPost {
+		limited := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+		body, err = io.ReadAll(limited)
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				return nil, &httpError{code: http.StatusRequestEntityTooLarge,
+					err: fmt.Errorf("upload exceeds %d bytes", s.cfg.MaxUploadBytes)}
+			}
+			return nil, fmt.Errorf("reading body: %w", err)
+		}
+		if len(body) == 0 {
+			return nil, badRequest("empty POST body; upload a MatrixMarket matrix or GET ?dataset=")
+		}
+		fp := fingerprint(body)
+		input, key = "upload:"+fp, "upload:"+fp
+	} else {
+		name := q.Get("dataset")
+		if name == "" {
+			return nil, badRequest("missing ?dataset= (or POST a MatrixMarket body)")
+		}
+		if _, err := datasets.ByName(name); err != nil {
+			return nil, &httpError{code: http.StatusNotFound, err: err}
+		}
+		input, key = name, "dataset:"+name
+	}
+
+	cacheKey := strings.Join([]string{
+		key, workload, searcher.Name(),
+		strconv.FormatUint(seed, 10), strconv.Itoa(repeats),
+	}, "|")
+	if v, ok := s.cache.Get(cacheKey); ok {
+		s.metrics.CacheHit()
+		resp := v.(EstimateResponse) // copy; Cached/WallMS are per-request
+		resp.Cached = true
+		return &resp, nil
+	}
+	s.metrics.CacheMiss()
+
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	defer cancel()
+
+	// The pool bounds concurrent pipeline runs; waiters respect the
+	// request deadline, so a client that gives up never holds a slot.
+	if err := s.pool.Acquire(ctx); err != nil {
+		return nil, fmt.Errorf("waiting for worker: %w", err)
+	}
+	defer s.pool.Release()
+
+	var cw core.Sampled
+	if body != nil {
+		coo, err := mmio.ReadLimited(bytes.NewReader(body), s.cfg.MaxUploadBytes)
+		if err != nil {
+			if errors.Is(err, mmio.ErrTooLarge) {
+				return nil, &httpError{code: http.StatusRequestEntityTooLarge, err: err}
+			}
+			return nil, badRequest("parsing upload: %v", err)
+		}
+		m, err := sparse.FromCOO(coo)
+		if err != nil {
+			return nil, badRequest("building matrix: %v", err)
+		}
+		cw, err = buildFromMatrix(s.platform, workload, input, m)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+	} else {
+		cw, err = buildFromDataset(s.platform, workload, input)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+	}
+
+	est, err := core.EstimateThreshold(ctx, cw, core.Config{
+		Searcher: searcher,
+		Seed:     seed,
+		Repeats:  repeats,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("estimating %s: %w", cw.Name(), err)
+	}
+	runTime, err := cw.Evaluate(est.Threshold)
+	if err != nil {
+		return nil, fmt.Errorf("evaluating %s at %.2f: %w", cw.Name(), est.Threshold, err)
+	}
+
+	if s.cfg.Verbose {
+		var tr hetsim.Trace
+		tr.Add(hetsim.PhaseSample, "host", est.SampleCost)
+		tr.Add(hetsim.PhaseIdentify, "host", est.IdentifyCost)
+		tr.Add(hetsim.PhaseCompute, "het", runTime)
+		s.cfg.Logf("hetserve: %s threshold=%.2f (%d evals, %d samples)\n%s",
+			cw.Name(), est.Threshold, est.Evals, est.Repeats, &tr)
+	}
+
+	overhead := est.Overhead()
+	resp := EstimateResponse{
+		Workload:        workload,
+		Input:           input,
+		Searcher:        searcher.Name(),
+		Seed:            seed,
+		Repeats:         est.Repeats,
+		Threshold:       est.Threshold,
+		SampleThreshold: est.SampleThreshold,
+		Evals:           est.Evals,
+		RunTimeNS:       int64(runTime),
+		RunTime:         runTime.String(),
+		SampleNS:        int64(est.SampleCost),
+		IdentifyNS:      int64(est.IdentifyCost),
+		OverheadNS:      int64(overhead),
+		Overhead:        overhead.String(),
+	}
+	if overhead+runTime > 0 {
+		resp.OverheadPct = 100 * float64(overhead) / float64(overhead+runTime)
+	}
+	s.cache.Put(cacheKey, resp)
+	return &resp, nil
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name  string `json:"name"`
+		Group string `json:"group"`
+		N     int    `json:"n"`
+		NNZ   int    `json:"nnz"`
+	}
+	var out []entry
+	for _, d := range datasets.All() {
+		out = append(out, entry{Name: d.Name, Group: d.Group, N: d.N(), NNZ: d.NNZ()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

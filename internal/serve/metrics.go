@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the request latency
+// histogram, chosen to straddle both cache hits (~µs) and full
+// estimation runs on Table II replicas (~ms to seconds).
+var latencyBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// histogram is a fixed-bucket cumulative histogram.
+type histogram struct {
+	counts []uint64 // one per bucket, plus +Inf at the end
+	sum    float64
+	total  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(latencyBuckets, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Metrics is the daemon's observability surface, exposed at /metrics
+// in the Prometheus text exposition format using only the standard
+// library. Everything is low-cardinality by construction: labels are
+// the three workload names and HTTP status codes.
+type Metrics struct {
+	inFlight atomic.Int64
+
+	mu        sync.Mutex
+	requests  map[string]uint64 // key: workload + "\x00" + code
+	hits      uint64
+	misses    uint64
+	latencies map[string]*histogram // key: workload
+	started   time.Time
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests:  make(map[string]uint64),
+		latencies: make(map[string]*histogram),
+		started:   time.Now(),
+	}
+}
+
+// RequestStarted increments the in-flight gauge; the returned func
+// decrements it and records the terminal status and latency.
+func (m *Metrics) RequestStarted(workload string) func(code int, elapsed time.Duration) {
+	m.inFlight.Add(1)
+	return func(code int, elapsed time.Duration) {
+		m.inFlight.Add(-1)
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.requests[workload+"\x00"+strconv.Itoa(code)]++
+		h, ok := m.latencies[workload]
+		if !ok {
+			h = newHistogram()
+			m.latencies[workload] = h
+		}
+		h.observe(elapsed.Seconds())
+	}
+}
+
+// CacheHit records an estimation answered from the result cache.
+func (m *Metrics) CacheHit() {
+	m.mu.Lock()
+	m.hits++
+	m.mu.Unlock()
+}
+
+// CacheMiss records an estimation that had to run the pipeline.
+func (m *Metrics) CacheMiss() {
+	m.mu.Lock()
+	m.misses++
+	m.mu.Unlock()
+}
+
+// CacheHitRatio returns hits / (hits + misses), or 0 before any lookup.
+func (m *Metrics) CacheHitRatio() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.hits+m.misses == 0 {
+		return 0
+	}
+	return float64(m.hits) / float64(m.hits+m.misses)
+}
+
+// InFlight returns the current in-flight request count.
+func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
+
+// WriteTo renders the registry in the Prometheus text format.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	p := func(format string, args ...any) error {
+		c, err := fmt.Fprintf(w, format, args...)
+		n += int64(c)
+		return err
+	}
+
+	if err := p("# HELP hetserve_requests_total Completed estimation requests.\n# TYPE hetserve_requests_total counter\n"); err != nil {
+		return n, err
+	}
+	for _, k := range sortedKeys(m.requests) {
+		wl, code, _ := strings.Cut(k, "\x00")
+		if err := p("hetserve_requests_total{workload=%q,code=%q} %d\n", wl, code, m.requests[k]); err != nil {
+			return n, err
+		}
+	}
+
+	if err := p("# HELP hetserve_cache_hits_total Estimations served from the result cache.\n# TYPE hetserve_cache_hits_total counter\nhetserve_cache_hits_total %d\n", m.hits); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetserve_cache_misses_total Estimations that ran the sampling pipeline.\n# TYPE hetserve_cache_misses_total counter\nhetserve_cache_misses_total %d\n", m.misses); err != nil {
+		return n, err
+	}
+	ratio := 0.0
+	if m.hits+m.misses > 0 {
+		ratio = float64(m.hits) / float64(m.hits+m.misses)
+	}
+	if err := p("# HELP hetserve_cache_hit_ratio Cache hits over all lookups.\n# TYPE hetserve_cache_hit_ratio gauge\nhetserve_cache_hit_ratio %g\n", ratio); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetserve_in_flight_requests Requests currently being handled.\n# TYPE hetserve_in_flight_requests gauge\nhetserve_in_flight_requests %d\n", m.inFlight.Load()); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetserve_uptime_seconds Seconds since the daemon started.\n# TYPE hetserve_uptime_seconds gauge\nhetserve_uptime_seconds %g\n", time.Since(m.started).Seconds()); err != nil {
+		return n, err
+	}
+
+	if err := p("# HELP hetserve_request_duration_seconds Request latency by workload.\n# TYPE hetserve_request_duration_seconds histogram\n"); err != nil {
+		return n, err
+	}
+	for _, wl := range sortedKeys(m.latencies) {
+		h := m.latencies[wl]
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			if err := p("hetserve_request_duration_seconds_bucket{workload=%q,le=%q} %d\n", wl, formatFloat(ub), cum); err != nil {
+				return n, err
+			}
+		}
+		cum += h.counts[len(latencyBuckets)]
+		if err := p("hetserve_request_duration_seconds_bucket{workload=%q,le=\"+Inf\"} %d\n", wl, cum); err != nil {
+			return n, err
+		}
+		if err := p("hetserve_request_duration_seconds_sum{workload=%q} %g\n", wl, h.sum); err != nil {
+			return n, err
+		}
+		if err := p("hetserve_request_duration_seconds_count{workload=%q} %d\n", wl, h.total); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

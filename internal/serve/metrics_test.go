@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	done := m.RequestStarted("spmm")
+	if m.InFlight() != 1 {
+		t.Errorf("in flight = %d, want 1", m.InFlight())
+	}
+	done(200, 3*time.Millisecond)
+	if m.InFlight() != 0 {
+		t.Errorf("in flight = %d, want 0", m.InFlight())
+	}
+	m.RequestStarted("cc")(404, time.Millisecond)
+	m.CacheMiss()
+	m.CacheMiss()
+	m.CacheHit()
+
+	var sb strings.Builder
+	if _, err := m.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`hetserve_requests_total{workload="spmm",code="200"} 1`,
+		`hetserve_requests_total{workload="cc",code="404"} 1`,
+		"hetserve_cache_hits_total 1",
+		"hetserve_cache_misses_total 2",
+		"hetserve_in_flight_requests 0",
+		`hetserve_request_duration_seconds_bucket{workload="spmm",le="+Inf"} 1`,
+		`hetserve_request_duration_seconds_count{workload="spmm"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+	if got := m.CacheHitRatio(); got < 0.33 || got > 0.34 {
+		t.Errorf("hit ratio = %v, want ~1/3", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram()
+	h.observe(0.0001) // below the first bound
+	h.observe(0.003)
+	h.observe(100) // above every bound → +Inf bucket
+	if h.counts[0] != 1 {
+		t.Errorf("first bucket = %d", h.counts[0])
+	}
+	if h.counts[len(latencyBuckets)] != 1 {
+		t.Errorf("+Inf bucket = %d", h.counts[len(latencyBuckets)])
+	}
+	if h.total != 3 {
+		t.Errorf("total = %d", h.total)
+	}
+}

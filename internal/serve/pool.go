@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+)
+
+// Pool is a bounded worker pool implemented as a counting semaphore.
+// Estimation requests acquire a slot before running the Sample →
+// Identify → Extrapolate pipeline, which bounds the CPU pressure a
+// burst of requests can create; waiters honor their request context,
+// so a client that times out while queued never occupies a slot.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool with n slots; n <= 0 means GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot is free or ctx is done.
+func (p *Pool) Acquire(ctx context.Context) error {
+	// Fast-path check so an already-expired context never wins the
+	// select race against a free slot.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot acquired with Acquire.
+func (p *Pool) Release() { <-p.sem }
+
+// InUse returns the number of currently held slots.
+func (p *Pool) InUse() int { return len(p.sem) }
+
+// Cap returns the slot count.
+func (p *Pool) Cap() int { return cap(p.sem) }

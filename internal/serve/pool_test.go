@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(3)
+	var inUse, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			cur := inUse.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inUse.Add(-1)
+			p.Release()
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 3 {
+		t.Errorf("peak concurrency = %d, want <= 3", got)
+	}
+	if p.InUse() != 0 {
+		t.Errorf("slots leaked: %d in use", p.InUse())
+	}
+}
+
+func TestPoolAcquireHonorsContext(t *testing.T) {
+	p := NewPool(1)
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := p.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+	p.Release()
+
+	// An already-cancelled context never acquires, even with a free slot.
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := p.Acquire(done); err != context.Canceled {
+		t.Errorf("err = %v, want Canceled", err)
+	}
+	if p.InUse() != 0 {
+		t.Errorf("in use = %d", p.InUse())
+	}
+}
+
+func TestPoolDefaultSize(t *testing.T) {
+	if NewPool(0).Cap() < 1 {
+		t.Error("default pool has no slots")
+	}
+}

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mmio"
+	"repro/internal/sparse"
+)
+
+// genMTX serializes a synthetic power-law matrix as a MatrixMarket
+// body, the shape an uploading client would send.
+func genMTX(t *testing.T, rows, nnz int, seed uint64) []byte {
+	t.Helper()
+	m, err := sparse.Generate(sparse.GenConfig{
+		Class: sparse.ClassPowerLaw,
+		Rows:  rows,
+		NNZ:   nnz,
+		Seed:  seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mmio.Write(&buf, m.ToCOO()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	ts := httptest.NewServer(New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, want int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != want {
+		t.Fatalf("GET %s = %d, want %d\n%s", url, resp.StatusCode, want, body)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad JSON from %s: %v\n%s", url, err, body)
+	}
+	return out
+}
+
+func postMTX(t *testing.T, url string, body []byte, want int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != want {
+		t.Fatalf("POST %s = %d, want %d\n%s", url, resp.StatusCode, want, raw)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("bad JSON from %s: %v\n%s", url, err, raw)
+	}
+	return out
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestEstimateUploadAndCache(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2, CacheSize: 8, Verbose: true})
+	mtx := genMTX(t, 400, 4000, 7)
+	url := ts.URL + "/estimate?workload=spmm&seed=5&repeats=2"
+
+	first := postMTX(t, url, mtx, 200)
+	thr := first["threshold"].(float64)
+	if thr < 0 || thr > 100 {
+		t.Errorf("threshold = %v out of [0,100]", thr)
+	}
+	if first["cached"].(bool) {
+		t.Error("first request reported cached")
+	}
+	if first["overhead_simulated_ns"].(float64) <= 0 {
+		t.Error("no overhead accounting")
+	}
+	if first["evals"].(float64) <= 0 {
+		t.Error("no evals reported")
+	}
+
+	second := postMTX(t, url, mtx, 200)
+	if !second["cached"].(bool) {
+		t.Error("identical repeat not served from cache")
+	}
+	if second["threshold"].(float64) != thr {
+		t.Errorf("cached threshold %v != %v", second["threshold"], thr)
+	}
+
+	// A different seed is a different cache key.
+	third := postMTX(t, ts.URL+"/estimate?workload=spmm&seed=6&repeats=2", mtx, 200)
+	if third["cached"].(bool) {
+		t.Error("different seed hit the cache")
+	}
+
+	// The cache traffic is visible in /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"hetserve_cache_hits_total 1",
+		"hetserve_cache_misses_total 2",
+		`hetserve_requests_total{workload="spmm",code="200"} 3`,
+		"hetserve_in_flight_requests 0",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q\n%s", want, metrics)
+		}
+	}
+}
+
+func TestEstimateNamedDataset(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2, CacheSize: 8})
+	out := getJSON(t, ts.URL+"/estimate?workload=spmm&dataset=cant&seed=3&repeats=1", 200)
+	if out["input"].(string) != "cant" {
+		t.Errorf("input = %v", out["input"])
+	}
+	thr := out["threshold"].(float64)
+	if thr < 0 || thr > 100 {
+		t.Errorf("threshold = %v", thr)
+	}
+	if out["searcher"].(string) != "race-then-fine" {
+		t.Errorf("spmm default searcher = %v", out["searcher"])
+	}
+
+	// Identical GET: cache hit.
+	again := getJSON(t, ts.URL+"/estimate?workload=spmm&dataset=cant&seed=3&repeats=1", 200)
+	if !again["cached"].(bool) {
+		t.Error("repeat GET not cached")
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1, CacheSize: 4})
+
+	getJSON(t, ts.URL+"/estimate?workload=spmm&dataset=no_such_matrix", 404)
+	getJSON(t, ts.URL+"/estimate?workload=warp&dataset=cant", 400)
+	getJSON(t, ts.URL+"/estimate?workload=spmm", 400)                               // no dataset, no body
+	getJSON(t, ts.URL+"/estimate?workload=spmm&dataset=cant&searcher=quantum", 400) // unknown searcher
+	getJSON(t, ts.URL+"/estimate?workload=spmm&dataset=cant&timeout=yesterday", 400)
+	postMTX(t, ts.URL+"/estimate?workload=spmm", []byte("this is not a matrix"), 400)
+}
+
+func TestEstimateUploadTooLarge(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1, CacheSize: 4, MaxUploadBytes: 512})
+	mtx := genMTX(t, 200, 2000, 9) // well over 512 bytes
+	postMTX(t, ts.URL+"/estimate?workload=spmm", mtx, http.StatusRequestEntityTooLarge)
+}
+
+func TestEstimateTimeoutCancelsCleanly(t *testing.T) {
+	srv := New(Config{Workers: 2, CacheSize: 4, Logf: t.Logf})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// A body large enough that parse + profile + search cannot finish
+	// inside 1ms on any hardware we run on.
+	mtx := genMTX(t, 20000, 120000, 11)
+	resp, err := http.Post(ts.URL+"/estimate?workload=spmm&timeout=1ms", "text/plain", bytes.NewReader(mtx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504\n%s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "deadline") {
+		t.Errorf("error body does not mention the deadline: %s", raw)
+	}
+
+	// No slot or gauge leak: everything is released once the handler
+	// returns.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Pool().InUse() != 0 || srv.Metrics().InFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("leak: %d slots, %d in flight", srv.Pool().InUse(), srv.Metrics().InFlight())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The same input without the timeout succeeds (the failure was the
+	// deadline, not the matrix), and the cancelled run was not cached.
+	ok := postMTX(t, ts.URL+"/estimate?workload=spmm", mtx, 200)
+	if ok["cached"].(bool) {
+		t.Error("cancelled run left a cache entry")
+	}
+}
+
+func TestDatasetsEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 15 {
+		t.Errorf("datasets = %d, want 15", len(out))
+	}
+	found := false
+	for _, d := range out {
+		if d["name"] == "cant" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cant missing from /datasets")
+	}
+}
+
+func TestEstimateCCUpload(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2, CacheSize: 4})
+	mtx := genMTX(t, 300, 1800, 21)
+	out := postMTX(t, ts.URL+"/estimate?workload=cc&repeats=1", mtx, 200)
+	if !strings.HasPrefix(out["input"].(string), "upload:") {
+		t.Errorf("input = %v", out["input"])
+	}
+	if out["searcher"].(string) != fmt.Sprintf("coarse-to-fine(%g→%g)", 8.0, 1.0) {
+		t.Errorf("cc default searcher = %v", out["searcher"])
+	}
+}
+
+func TestEstimateScaleFreeUpload(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2, CacheSize: 4})
+	mtx := genMTX(t, 300, 3000, 33)
+	out := postMTX(t, ts.URL+"/estimate?workload=scalefree&repeats=1", mtx, 200)
+	if out["searcher"].(string) != "gradient-descent" {
+		t.Errorf("scalefree default searcher = %v", out["searcher"])
+	}
+}

@@ -1,0 +1,156 @@
+// Package serve implements hetserve, the threshold-estimation daemon.
+//
+// The paper's Sample → Identify → Extrapolate framework makes
+// threshold selection cheap enough to run online, per input — so this
+// package wraps core.EstimateThreshold in an HTTP service: clients ask
+// "how should I split this matrix/graph across devices?" and get the
+// estimated threshold with overhead accounting as JSON.
+//
+// Internals: a bounded worker Pool feeds the estimation pipeline, an
+// LRU result cache keyed by (input fingerprint, workload, seed,
+// searcher config) answers repeated inputs from memory, and Metrics
+// exposes request counts, cache hit ratio, an in-flight gauge and
+// per-workload latency histograms at /metrics — all standard library.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"time"
+
+	"repro/internal/hetsim"
+)
+
+// Config controls a Server.
+type Config struct {
+	// Workers bounds concurrent estimations; <= 0 means GOMAXPROCS.
+	Workers int
+	// CacheSize is the LRU result-cache capacity; <= 0 disables it.
+	CacheSize int
+	// MaxUploadBytes caps POST bodies; <= 0 means DefaultMaxUpload.
+	MaxUploadBytes int64
+	// MaxTimeout caps the per-request deadline; requests may ask for
+	// less via ?timeout=. <= 0 means DefaultMaxTimeout.
+	MaxTimeout time.Duration
+	// Platform is the simulated device pair; nil means hetsim.Default.
+	Platform *hetsim.Platform
+	// Verbose enables per-request hetsim.Trace summaries via Logf.
+	Verbose bool
+	// Logf receives log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxUpload  = 64 << 20 // 64 MiB
+	DefaultMaxTimeout = 60 * time.Second
+	DefaultCacheSize  = 256
+)
+
+// Server is the hetserve HTTP daemon: estimation handlers plus the
+// pool, cache and metrics they share.
+type Server struct {
+	cfg      Config
+	platform *hetsim.Platform
+	pool     *Pool
+	cache    *LRU
+	metrics  *Metrics
+	mux      *http.ServeMux
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = DefaultMaxUpload
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultMaxTimeout
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:      cfg,
+		platform: cfg.Platform,
+		pool:     NewPool(cfg.Workers),
+		cache:    NewLRU(cfg.CacheSize),
+		metrics:  NewMetrics(),
+		mux:      http.NewServeMux(),
+	}
+	if s.platform == nil {
+		s.platform = hetsim.Default()
+	}
+	s.mux.HandleFunc("/estimate", s.handleEstimate)
+	s.mux.HandleFunc("/datasets", s.handleDatasets)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the registry (tests and the CLI's shutdown summary).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Pool exposes the worker pool (tests).
+func (s *Server) Pool() *Pool { return s.pool }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := s.metrics.WriteTo(w); err != nil {
+		s.cfg.Logf("hetserve: writing metrics: %v", err)
+	}
+}
+
+// requestContext derives the handler context: the client's, bounded by
+// the server-wide maximum and optionally tightened by ?timeout=.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	timeout := s.cfg.MaxTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad timeout %q: %w", v, err)
+		}
+		if d <= 0 {
+			return nil, nil, fmt.Errorf("timeout %q must be positive", v)
+		}
+		if d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ctx, cancel, nil
+}
+
+// statusFor maps pipeline errors to HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// StatusClientClosedRequest is nginx's conventional code for a request
+// abandoned by the client; no standard constant exists.
+const StatusClientClosedRequest = 499
+
+// fingerprint hashes an uploaded body so identical uploads share a
+// cache entry without retaining the bytes.
+func fingerprint(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
