@@ -1,0 +1,363 @@
+// Command hetgate is the sharded estimation gateway: it fronts N
+// hetserve replicas and routes /estimate requests by input fingerprint
+// on a consistent-hash ring, so repeated inputs land on the replica
+// whose result cache already holds them.
+//
+// Endpoints mirror hetserve:
+//
+//	GET/POST /estimate   sharded, retried, hedged, coalesced
+//	GET      /datasets   proxied from any live replica
+//	GET      /healthz    gateway health (503 when every breaker is open)
+//	GET      /metrics    gateway Prometheus metrics
+//
+// Backends come from -backends (comma-separated base URLs) or
+// -embedded K, which starts K in-process hetserve replicas on loopback
+// — the full cluster in one binary, handy for development and CI.
+//
+// Examples:
+//
+//	hetserve -addr :8081 & hetserve -addr :8082 &
+//	hetgate -addr :8080 -backends http://localhost:8081,http://localhost:8082
+//	hetgate -addr :8080 -embedded 3
+//	hetgate -embedded 3 -bench 300 -bench-out BENCH_gate.json
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mmio"
+	"repro/internal/serve"
+	"repro/internal/sparse"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		backends = flag.String("backends", "", "comma-separated hetserve base URLs")
+		embedded = flag.Int("embedded", 0, "start K in-process hetserve backends instead of -backends")
+
+		vnodes     = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per backend on the hash ring")
+		attempts   = flag.Int("attempts", cluster.DefaultMaxAttempts, "max tries per request across backends")
+		retryBase  = flag.Duration("retry-base", cluster.DefaultRetryBase, "base backoff between retries (grows exponentially, full jitter)")
+		retryMax   = flag.Duration("retry-max", cluster.DefaultRetryMax, "backoff cap")
+		hedge      = flag.Duration("hedge", cluster.DefaultHedgeDelay, "delay before hedging to the next replica (negative disables)")
+		healthIvl  = flag.Duration("health-interval", cluster.DefaultHealthInterval, "/healthz probe period")
+		brkThresh  = flag.Int("breaker-threshold", cluster.DefaultBreakerThreshold, "consecutive failures before a breaker opens")
+		brkCool    = flag.Duration("breaker-cooldown", cluster.DefaultBreakerCooldown, "open-breaker hold time before a half-open probe")
+		upTimeout  = flag.Duration("upstream-timeout", cluster.DefaultUpstreamTimeout, "end-to-end bound on one upstream call (retries and hedges included)")
+		maxUpload  = flag.Int64("max-upload", serve.DefaultMaxUpload, "max POST body bytes")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "workers per embedded backend")
+		cacheSize  = flag.Int("cache", serve.DefaultCacheSize, "result-cache capacity per embedded backend")
+		verbose    = flag.Bool("v", false, "log retries, hedges and breaker transitions")
+		benchN     = flag.Int("bench", 0, "run N requests against an embedded cluster, write a latency report, and exit")
+		benchConc  = flag.Int("bench-concurrency", 8, "concurrent clients in bench mode")
+		benchOut   = flag.String("bench-out", "BENCH_gate.json", "bench report path")
+		benchInput = flag.Int("bench-inputs", 6, "distinct inputs in the bench request mix")
+	)
+	flag.Parse()
+
+	if err := run(config{
+		addr: *addr, backends: *backends, embedded: *embedded,
+		vnodes: *vnodes, attempts: *attempts,
+		retryBase: *retryBase, retryMax: *retryMax, hedge: *hedge,
+		healthIvl: *healthIvl, brkThresh: *brkThresh, brkCool: *brkCool,
+		upTimeout: *upTimeout, maxUpload: *maxUpload,
+		workers: *workers, cacheSize: *cacheSize, verbose: *verbose,
+		benchN: *benchN, benchConc: *benchConc, benchOut: *benchOut, benchInputs: *benchInput,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "hetgate:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr, backends      string
+	embedded            int
+	vnodes, attempts    int
+	retryBase, retryMax time.Duration
+	hedge, healthIvl    time.Duration
+	brkThresh           int
+	brkCool, upTimeout  time.Duration
+	maxUpload           int64
+	workers, cacheSize  int
+	verbose             bool
+	benchN, benchConc   int
+	benchOut            string
+	benchInputs         int
+}
+
+func run(c config) error {
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	logf := func(string, ...any) {}
+	if c.verbose {
+		logf = logger.Printf
+	}
+
+	// Resolve backends: explicit URLs, or an embedded loopback cluster.
+	var urls []string
+	if c.backends != "" {
+		for _, u := range strings.Split(c.backends, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+	}
+	if len(urls) == 0 {
+		k := c.embedded
+		if k <= 0 {
+			if c.benchN > 0 {
+				k = 3 // bench always has a cluster to exercise
+			} else {
+				return errors.New("no backends: pass -backends or -embedded K")
+			}
+		}
+		e, err := cluster.StartEmbedded(k, serve.Config{
+			Workers:        c.workers,
+			CacheSize:      c.cacheSize,
+			MaxUploadBytes: c.maxUpload,
+			Logf:           logf,
+		})
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		urls = e.URLs()
+		logger.Printf("hetgate: started %d embedded backends: %s", k, strings.Join(urls, ", "))
+	}
+
+	g, err := cluster.New(cluster.Config{
+		Backends:         urls,
+		VNodes:           c.vnodes,
+		MaxAttempts:      c.attempts,
+		RetryBase:        c.retryBase,
+		RetryMax:         c.retryMax,
+		HedgeDelay:       c.hedge,
+		HealthInterval:   c.healthIvl,
+		BreakerThreshold: c.brkThresh,
+		BreakerCooldown:  c.brkCool,
+		UpstreamTimeout:  c.upTimeout,
+		MaxBodyBytes:     c.maxUpload,
+		Logf:             logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go g.Run(ctx)
+
+	if c.benchN > 0 {
+		return runBench(ctx, g, c, logger)
+	}
+
+	srv := &http.Server{
+		Addr:    c.addr,
+		Handler: g.Handler(),
+		// Same hardening as hetserve: bound header and body reads so
+		// slowloris-style clients cannot exhaust connections.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       c.upTimeout + 30*time.Second,
+		WriteTimeout:      c.upTimeout + 10*time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("hetgate: listening on %s fronting %d backends", c.addr, len(urls))
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	retries, hedges, coalesced := g.Metrics().Counts()
+	logger.Printf("hetgate: shutting down (retries %d, hedges %d, coalesced %d)", retries, hedges, coalesced)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// benchReport is the JSON written by -bench: the gateway's latency
+// distribution and hit rates under a fixed request mix, the repo's
+// first point on a bench trajectory.
+type benchReport struct {
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	Backends    int     `json:"backends"`
+	Inputs      int     `json:"distinct_inputs"`
+	Errors      int     `json:"errors"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	ThroughputS float64 `json:"requests_per_second"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	CacheHit    float64 `json:"cache_hit_rate"`
+	GwCoalesce  float64 `json:"gateway_coalesce_rate"`
+	Retries     uint64  `json:"retries"`
+	Hedges      uint64  `json:"hedges"`
+}
+
+// runBench drives the gateway handler over a real loopback listener
+// with a fixed mix of uploaded inputs and writes the latency report.
+func runBench(ctx context.Context, g *cluster.Gateway, c config, logger *log.Logger) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: g.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	if c.benchInputs <= 0 {
+		c.benchInputs = 1
+	}
+	bodies := make([][]byte, c.benchInputs)
+	for i := range bodies {
+		m, err := sparse.Generate(sparse.GenConfig{
+			Class: sparse.ClassPowerLaw, Rows: 600, NNZ: 6000, Seed: uint64(1000 + i),
+		})
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := mmio.Write(&buf, m.ToCOO()); err != nil {
+			return err
+		}
+		bodies[i] = buf.Bytes()
+	}
+
+	logger.Printf("hetgate: bench %d requests, %d clients, %d inputs, %d backends",
+		c.benchN, c.benchConc, c.benchInputs, len(g.Backends()))
+
+	var (
+		mu        sync.Mutex
+		latencies []float64 // milliseconds
+		cached    int
+		coalesced int
+		errs      atomic.Int64
+		next      atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < c.benchConc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= c.benchN || ctx.Err() != nil {
+					return
+				}
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				resp, err := http.Post(base+"/estimate?workload=spmm&repeats=1", "text/plain", bytes.NewReader(body))
+				ms := float64(time.Since(t0).Microseconds()) / 1e3
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				var out struct {
+					Cached bool `json:"cached"`
+				}
+				_ = json.Unmarshal(raw, &out)
+				mu.Lock()
+				latencies = append(latencies, ms)
+				if out.Cached {
+					cached++
+				}
+				if resp.Header.Get("X-Hetgate-Coalesced") == "true" {
+					coalesced++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	retries, hedges, _ := g.Metrics().Counts()
+	rep := benchReport{
+		Requests:    c.benchN,
+		Concurrency: c.benchConc,
+		Backends:    len(g.Backends()),
+		Inputs:      c.benchInputs,
+		Errors:      int(errs.Load()),
+		ElapsedMS:   float64(elapsed.Microseconds()) / 1e3,
+		P50MS:       pct(0.50),
+		P95MS:       pct(0.95),
+		P99MS:       pct(0.99),
+		Retries:     retries,
+		Hedges:      hedges,
+	}
+	if elapsed > 0 {
+		rep.ThroughputS = float64(len(latencies)) / elapsed.Seconds()
+	}
+	if n := len(latencies); n > 0 {
+		rep.CacheHit = float64(cached) / float64(n)
+		rep.GwCoalesce = float64(coalesced) / float64(n)
+	}
+
+	f, err := os.Create(c.benchOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	logger.Printf("hetgate: bench done in %v: p50 %.2fms p95 %.2fms p99 %.2fms, cache hit %.0f%%, coalesce %.0f%%, %d errors → %s",
+		elapsed.Round(time.Millisecond), rep.P50MS, rep.P95MS, rep.P99MS,
+		100*rep.CacheHit, 100*rep.GwCoalesce, rep.Errors, c.benchOut)
+	if rep.Errors > 0 {
+		return fmt.Errorf("bench finished with %d errors", rep.Errors)
+	}
+	return nil
+}

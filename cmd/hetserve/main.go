@@ -70,9 +70,14 @@ func run(addr string, workers, cacheSize int, maxUpload int64, timeout time.Dura
 		Addr:    addr,
 		Handler: s.Handler(),
 		// Estimations can legitimately run for the full -timeout; add
-		// headroom for serialization.
+		// headroom for serialization. ReadTimeout covers the whole
+		// upload, ReadHeaderTimeout and MaxHeaderBytes cut off
+		// slowloris-style connection exhaustion before a body is ever
+		// accepted.
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       timeout + 30*time.Second,
 		WriteTimeout:      timeout + 10*time.Second,
+		MaxHeaderBytes:    1 << 20,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,589 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/serve"
+)
+
+// Gateway defaults.
+const (
+	DefaultHealthInterval  = 2 * time.Second
+	DefaultHealthTimeout   = time.Second
+	DefaultMaxAttempts     = 3
+	DefaultRetryBase       = 25 * time.Millisecond
+	DefaultRetryMax        = time.Second
+	DefaultHedgeDelay      = 250 * time.Millisecond
+	DefaultUpstreamTimeout = 90 * time.Second
+	// maxUpstreamResponse caps buffered upstream bodies; estimation
+	// answers are small JSON, so 8 MiB is generous.
+	maxUpstreamResponse = 8 << 20
+)
+
+// Config controls a Gateway.
+type Config struct {
+	// Backends are the hetserve base URLs fronted by the gateway.
+	Backends []string
+	// VNodes is the consistent-hash virtual-node count per backend;
+	// <= 0 means DefaultVNodes.
+	VNodes int
+	// HealthInterval is the /healthz probe period; <= 0 means
+	// DefaultHealthInterval.
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe; <= 0 means DefaultHealthTimeout.
+	HealthTimeout time.Duration
+	// BreakerThreshold is consecutive failures before a backend's
+	// breaker opens; <= 0 means DefaultBreakerThreshold.
+	BreakerThreshold int
+	// BreakerCooldown is the open-state hold time before a half-open
+	// probe; <= 0 means DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// MaxAttempts bounds tries per request across backends; <= 0 means
+	// DefaultMaxAttempts.
+	MaxAttempts int
+	// RetryBase and RetryMax shape the exponential backoff between
+	// attempts (full jitter); <= 0 means the defaults.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// HedgeDelay is how long to wait on a replica before firing the
+	// same request at the next one; 0 means DefaultHedgeDelay,
+	// negative disables hedging.
+	HedgeDelay time.Duration
+	// UpstreamTimeout bounds one coalesced upstream call end to end
+	// (all retries and hedges); <= 0 means DefaultUpstreamTimeout.
+	UpstreamTimeout time.Duration
+	// MaxBodyBytes caps client POST bodies; <= 0 means
+	// serve.DefaultMaxUpload.
+	MaxBodyBytes int64
+	// Client is the upstream HTTP client; nil means a dedicated
+	// http.Client with sane pooling.
+	Client *http.Client
+	// Logf receives log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+var errNoBackendAvailable = errors.New("no backend available (all circuit breakers open)")
+
+// Gateway fronts N hetserve replicas: it shards /estimate by input
+// fingerprint on a consistent-hash ring, guards each backend with a
+// circuit breaker fed by traffic and health probes, retries with
+// backoff+jitter, hedges slow requests to the next replica, and
+// coalesces identical concurrent requests into one upstream call.
+type Gateway struct {
+	cfg    Config
+	ring   *Ring
+	client *http.Client
+
+	mu       sync.RWMutex
+	breakers map[string]*Breaker
+
+	flight  flight.Group
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New builds a Gateway over cfg.Backends.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("cluster: no backends configured")
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = DefaultHealthInterval
+	}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = DefaultHealthTimeout
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = DefaultRetryBase
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = DefaultRetryMax
+	}
+	if cfg.HedgeDelay == 0 {
+		cfg.HedgeDelay = DefaultHedgeDelay
+	}
+	if cfg.UpstreamTimeout <= 0 {
+		cfg.UpstreamTimeout = DefaultUpstreamTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = serve.DefaultMaxUpload
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		ring:     NewRing(cfg.VNodes),
+		client:   cfg.Client,
+		breakers: make(map[string]*Breaker),
+		metrics:  NewMetrics(),
+		mux:      http.NewServeMux(),
+		rng:      rand.New(rand.NewSource(1)),
+	}
+	if g.client == nil {
+		g.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	}
+	for _, b := range cfg.Backends {
+		u := strings.TrimRight(b, "/")
+		if _, err := url.Parse(u); err != nil || u == "" {
+			return nil, fmt.Errorf("cluster: bad backend URL %q", b)
+		}
+		g.ring.Add(u)
+		g.breakers[u] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
+	g.metrics.breakerStates = g.BreakerStates
+	g.mux.HandleFunc("/estimate", g.handleEstimate)
+	g.mux.HandleFunc("/datasets", g.handleDatasets)
+	g.mux.HandleFunc("/healthz", g.handleHealthz)
+	g.mux.HandleFunc("/metrics", g.handleMetrics)
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Metrics exposes the registry (tests and the CLI's bench mode).
+func (g *Gateway) Metrics() *Metrics { return g.metrics }
+
+// Backends returns the ring membership.
+func (g *Gateway) Backends() []string { return g.ring.Members() }
+
+func (g *Gateway) breaker(backend string) *Breaker {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.breakers[backend]
+}
+
+// BreakerStates snapshots every backend's breaker position.
+func (g *Gateway) BreakerStates() map[string]BreakerState {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[string]BreakerState, len(g.breakers))
+	for b, br := range g.breakers {
+		out[b] = br.State()
+	}
+	return out
+}
+
+// Run drives the health prober until ctx is done. The first sweep runs
+// immediately so breakers reflect reality before traffic arrives.
+func (g *Gateway) Run(ctx context.Context) {
+	g.probeAll(ctx)
+	t := time.NewTicker(g.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			g.probeAll(ctx)
+		}
+	}
+}
+
+// probeAll checks /healthz on every backend whose breaker admits a
+// request. For an open breaker Allow is the cooldown gate, so the
+// probe doubles as the half-open trial and a recovered backend closes
+// its breaker without waiting for live traffic.
+func (g *Gateway) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range g.ring.Members() {
+		br := g.breaker(b)
+		if !br.Allow() {
+			continue
+		}
+		wg.Add(1)
+		go func(backend string, br *Breaker) {
+			defer wg.Done()
+			ok := g.probe(ctx, backend)
+			br.Record(ok)
+			g.metrics.Probe(backend, ok)
+			if !ok {
+				g.cfg.Logf("hetgate: health probe failed for %s (breaker %s)", backend, br.State())
+			}
+		}(b, br)
+	}
+	wg.Wait()
+}
+
+func (g *Gateway) probe(ctx context.Context, backend string) bool {
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, backend+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	open := 0
+	states := g.BreakerStates()
+	for _, s := range states {
+		if s == BreakerOpen {
+			open++
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if open == len(states) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "degraded: all %d backends open\n", open)
+		return
+	}
+	fmt.Fprintf(w, "ok (%d/%d backends available)\n", len(states)-open, len(states))
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := g.metrics.WriteTo(w); err != nil {
+		g.cfg.Logf("hetgate: writing metrics: %v", err)
+	}
+}
+
+// handleDatasets proxies the replica catalog from the first available
+// backend — it is identical on all of them.
+func (g *Gateway) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.HealthTimeout*4)
+	defer cancel()
+	var lastErr error = errNoBackendAvailable
+	for _, b := range g.ring.Replicas("datasets", g.ring.Len()) {
+		br := g.breaker(b)
+		if !br.Allow() {
+			continue
+		}
+		res, err := g.do(ctx, b, http.MethodGet, "/datasets", "", nil)
+		if err == nil {
+			writeUpstream(w, res)
+			return
+		}
+		lastErr = err
+	}
+	writeError(w, http.StatusBadGateway, lastErr)
+}
+
+// upstreamResult is one buffered backend answer, replayable to every
+// coalesced waiter.
+type upstreamResult struct {
+	status      int
+	contentType string
+	body        []byte
+	backend     string
+}
+
+func writeUpstream(w http.ResponseWriter, res *upstreamResult) {
+	if res.contentType != "" {
+		w.Header().Set("Content-Type", res.contentType)
+	}
+	w.Header().Set("X-Hetgate-Backend", res.backend)
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", err.Error())
+}
+
+// handleEstimate shards one estimation request: derive the routing key
+// from the input fingerprint, coalesce with identical in-flight
+// requests, then forward along the key's replica chain.
+func (g *Gateway) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	var body []byte
+	if r.Method == http.MethodPost {
+		limited := http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+		b, err := io.ReadAll(limited)
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("upload exceeds %d bytes", g.cfg.MaxBodyBytes))
+				return
+			}
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %v", err))
+			return
+		}
+		body = b
+	}
+
+	// The routing key is the same input identity hetserve keys its LRU
+	// by, so a given input always lands on the replica whose cache
+	// already holds it.
+	var key string
+	if body != nil {
+		key = "upload:" + serve.Fingerprint(body)
+	} else {
+		key = "dataset:" + r.URL.Query().Get("dataset")
+	}
+
+	// Coalescing must distinguish requests that differ in any estimation
+	// parameter, so the flight key adds the canonicalized query string.
+	flightKey := key + "|" + canonicalQuery(r.URL.Query())
+
+	v, err, leader := g.flight.Do(flightKey, func() (any, error) {
+		// Detached context: the upstream call outlives any single
+		// waiter, so one impatient client cannot fail the whole herd.
+		ctx, cancel := context.WithTimeout(context.Background(), g.cfg.UpstreamTimeout)
+		defer cancel()
+		return g.forward(ctx, r.Method, r.URL.RawQuery, body, key)
+	})
+	if !leader {
+		g.metrics.Coalesced()
+	}
+	if err != nil {
+		code := http.StatusBadGateway
+		if errors.Is(err, context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		}
+		g.cfg.Logf("hetgate: %s %s: %v (HTTP %d)", r.Method, r.URL.Path, err, code)
+		writeError(w, code, err)
+		return
+	}
+	res := v.(*upstreamResult)
+	if !leader {
+		w.Header().Set("X-Hetgate-Coalesced", "true")
+	}
+	writeUpstream(w, res)
+}
+
+// canonicalQuery renders query parameters in sorted order so two
+// requests that differ only in parameter order share a flight key.
+func canonicalQuery(q url.Values) string {
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		vs := append([]string(nil), q[k]...)
+		sort.Strings(vs)
+		for _, v := range vs {
+			sb.WriteString(k)
+			sb.WriteByte('=')
+			sb.WriteString(v)
+			sb.WriteByte('&')
+		}
+	}
+	return sb.String()
+}
+
+// forward walks key's replica chain: try the owner, hedge to the next
+// replica if the attempt is slow, and on failure back off (with full
+// jitter) and retry the next candidate, up to MaxAttempts attempts.
+func (g *Gateway) forward(ctx context.Context, method, rawQuery string, body []byte, key string) (*upstreamResult, error) {
+	order := g.ring.Replicas(key, g.ring.Len())
+	if len(order) == 0 {
+		return nil, errNoBackendAvailable
+	}
+	// pick returns the next candidate in ring order whose breaker
+	// admits a request; half-open probe slots are consumed here, right
+	// before the try, never speculatively.
+	next := 0
+	pick := func() (string, bool) {
+		for i := 0; i < len(order); i++ {
+			b := order[next%len(order)]
+			next++
+			if g.breaker(b).Allow() {
+				return b, true
+			}
+		}
+		return "", false
+	}
+
+	var lastErr error = errNoBackendAvailable
+	for attempt := 0; attempt < g.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			g.metrics.Retry()
+			if err := sleepCtx(ctx, g.backoff(attempt)); err != nil {
+				return nil, fmt.Errorf("%w (last error: %v)", err, lastErr)
+			}
+		}
+		backend, ok := pick()
+		if !ok {
+			// Every breaker is open; the backoff sleep above may let a
+			// cooldown elapse, so keep trying until attempts run out.
+			lastErr = errNoBackendAvailable
+			continue
+		}
+		res, err := g.tryHedged(ctx, backend, pick, method, rawQuery, body)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("all %d attempts failed: %w", g.cfg.MaxAttempts, lastErr)
+}
+
+// backoff returns the sleep before retry round attempt (1-based) using
+// exponential growth with full jitter, capped at RetryMax.
+func (g *Gateway) backoff(attempt int) time.Duration {
+	d := g.cfg.RetryBase << (attempt - 1)
+	if d > g.cfg.RetryMax || d <= 0 {
+		d = g.cfg.RetryMax
+	}
+	g.rngMu.Lock()
+	j := time.Duration(g.rng.Int63n(int64(d) + 1))
+	g.rngMu.Unlock()
+	return j
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// tryHedged runs one attempt against primary; if HedgeDelay passes
+// with no reply, the same request is fired at the next admissible
+// replica and the first success wins. The loser is cancelled.
+func (g *Gateway) tryHedged(ctx context.Context, primary string, pick func() (string, bool), method, rawQuery string, body []byte) (*upstreamResult, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		res *upstreamResult
+		err error
+	}
+	results := make(chan outcome, 2)
+	launch := func(backend string) {
+		go func() {
+			res, err := g.do(ctx, backend, method, "/estimate", rawQuery, body)
+			results <- outcome{res, err}
+		}()
+	}
+	launch(primary)
+	inFlight := 1
+
+	var hedgeC <-chan time.Time
+	if g.cfg.HedgeDelay > 0 {
+		t := time.NewTimer(g.cfg.HedgeDelay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var lastErr error
+	for {
+		select {
+		case out := <-results:
+			inFlight--
+			if out.err == nil {
+				return out.res, nil
+			}
+			lastErr = out.err
+			if inFlight == 0 {
+				return nil, lastErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if b, ok := pick(); ok {
+				g.metrics.Hedge()
+				launch(b)
+				inFlight++
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// do performs one upstream HTTP call and feeds the backend's breaker:
+// transport errors and 5xx answers count as failures, everything else
+// (including 4xx — the backend is healthy, the request is bad) as
+// success. Cancellation by a winning hedge is not held against the
+// backend.
+func (g *Gateway) do(ctx context.Context, backend, method, path, rawQuery string, body []byte) (*upstreamResult, error) {
+	u := backend + path
+	if rawQuery != "" {
+		u += "?" + rawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return nil, fmt.Errorf("building request for %s: %w", backend, err)
+	}
+	start := time.Now()
+	resp, err := g.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			g.breaker(backend).Release()
+			return nil, ctx.Err()
+		}
+		g.breaker(backend).Record(false)
+		g.metrics.Upstream(backend, 0, time.Since(start))
+		return nil, fmt.Errorf("backend %s: %w", backend, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxUpstreamResponse))
+	if err != nil {
+		if ctx.Err() != nil {
+			g.breaker(backend).Release()
+			return nil, ctx.Err()
+		}
+		g.breaker(backend).Record(false)
+		g.metrics.Upstream(backend, 0, time.Since(start))
+		return nil, fmt.Errorf("backend %s: reading response: %w", backend, err)
+	}
+	g.metrics.Upstream(backend, resp.StatusCode, time.Since(start))
+	if resp.StatusCode >= 500 {
+		g.breaker(backend).Record(false)
+		return nil, fmt.Errorf("backend %s: HTTP %d: %s", backend, resp.StatusCode, firstLine(b))
+	}
+	g.breaker(backend).Record(true)
+	return &upstreamResult{
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		body:        b,
+		backend:     backend,
+	}, nil
+}
+
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}

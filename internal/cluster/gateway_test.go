@@ -1,0 +1,442 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mmio"
+	"repro/internal/serve"
+	"repro/internal/sparse"
+)
+
+// genMTX serializes a synthetic power-law matrix as a MatrixMarket
+// body, the shape an uploading client would send.
+func genMTX(t *testing.T, rows, nnz int, seed uint64) []byte {
+	t.Helper()
+	m, err := sparse.Generate(sparse.GenConfig{
+		Class: sparse.ClassPowerLaw,
+		Rows:  rows,
+		NNZ:   nnz,
+		Seed:  seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mmio.Write(&buf, m.ToCOO()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// startCluster launches k embedded hetserve backends plus a gateway
+// (with its health prober running) fronting them.
+func startCluster(t *testing.T, k int, mut func(*Config)) (*Embedded, *Gateway, *httptest.Server) {
+	t.Helper()
+	e, err := StartEmbedded(k, serve.Config{Workers: 4, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+
+	cfg := Config{
+		Backends:         e.URLs(),
+		HealthInterval:   50 * time.Millisecond,
+		HealthTimeout:    500 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  200 * time.Millisecond,
+		MaxAttempts:      4,
+		RetryBase:        10 * time.Millisecond,
+		RetryMax:         50 * time.Millisecond,
+		HedgeDelay:       -1, // deterministic routing; hedging has its own test
+		Logf:             t.Logf,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); g.Run(ctx) }()
+	t.Cleanup(func() { cancel(); <-done })
+
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	return e, g, ts
+}
+
+type gwResponse struct {
+	status    int
+	backend   string
+	coalesced bool // gateway-side
+	body      map[string]any
+}
+
+func postEstimate(t *testing.T, base string, query string, mtx []byte) gwResponse {
+	t.Helper()
+	resp, err := http.Post(base+"/estimate?"+query, "text/plain", bytes.NewReader(mtx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	out := gwResponse{
+		status:    resp.StatusCode,
+		backend:   resp.Header.Get("X-Hetgate-Backend"),
+		coalesced: resp.Header.Get("X-Hetgate-Coalesced") == "true",
+	}
+	if err := json.Unmarshal(raw, &out.body); err != nil {
+		t.Fatalf("bad JSON (status %d): %v\n%s", resp.StatusCode, err, raw)
+	}
+	return out
+}
+
+func TestGatewayShardsByFingerprintWithCacheLocality(t *testing.T) {
+	_, _, ts := startCluster(t, 3, nil)
+
+	backends := make(map[string]bool)
+	for i := 0; i < 6; i++ {
+		mtx := genMTX(t, 300, 2400, uint64(100+i))
+		first := postEstimate(t, ts.URL, "workload=spmm&repeats=1", mtx)
+		if first.status != 200 {
+			t.Fatalf("upload %d: status %d: %v", i, first.status, first.body)
+		}
+		if first.backend == "" {
+			t.Fatal("missing X-Hetgate-Backend header")
+		}
+		backends[first.backend] = true
+
+		// The repeat must land on the same replica and hit its LRU —
+		// that is the cache locality consistent hashing buys.
+		second := postEstimate(t, ts.URL, "workload=spmm&repeats=1", mtx)
+		if second.backend != first.backend {
+			t.Errorf("upload %d moved %s → %s between identical requests", i, first.backend, second.backend)
+		}
+		if cached, _ := second.body["cached"].(bool); !cached {
+			t.Errorf("upload %d repeat was not served from the owner's cache", i)
+		}
+		if second.body["threshold"] != first.body["threshold"] {
+			t.Errorf("upload %d: threshold drifted %v → %v", i, first.body["threshold"], second.body["threshold"])
+		}
+	}
+	if len(backends) < 2 {
+		t.Errorf("6 distinct uploads all routed to %d backend(s); sharding suspect", len(backends))
+	}
+}
+
+func TestGatewayCoalescesIdenticalConcurrentRequests(t *testing.T) {
+	e, g, ts := startCluster(t, 3, nil)
+
+	// Large enough that the pipeline takes real time, so concurrent
+	// identical posts overlap the leader's upstream call.
+	mtx := genMTX(t, 20000, 120000, 5)
+	const callers = 6
+	var wg sync.WaitGroup
+	var coalesced atomic.Int64
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := postEstimate(t, ts.URL, "workload=spmm&repeats=1", mtx)
+			if out.status != 200 {
+				t.Errorf("status %d: %v", out.status, out.body)
+			}
+			if out.coalesced {
+				coalesced.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// However the requests interleaved (gateway singleflight, backend
+	// singleflight, or backend LRU), the pipeline must have run once.
+	var misses uint64
+	for i := 0; i < 3; i++ {
+		_, m, _ := e.Server(i).Metrics().CacheCounts()
+		misses += m
+	}
+	if misses != 1 {
+		t.Errorf("backend pipeline ran %d times for one input, want 1", misses)
+	}
+	_, _, gwCoalesced := g.Metrics().Counts()
+	if int64(gwCoalesced) != coalesced.Load() {
+		t.Errorf("gateway metrics report %d coalesced, headers reported %d", gwCoalesced, coalesced.Load())
+	}
+}
+
+// TestGatewayFailover is the acceptance scenario: 3 backends, one dies
+// mid-run; its breaker opens, its key range remaps to live replicas,
+// and once the remap settles no request fails.
+func TestGatewayFailover(t *testing.T) {
+	e, g, ts := startCluster(t, 3, nil)
+
+	// Warm up: 8 distinct inputs, note who owns each.
+	const inputs = 8
+	bodies := make([][]byte, inputs)
+	owner := make([]string, inputs)
+	for i := range bodies {
+		bodies[i] = genMTX(t, 300, 2400, uint64(200+i))
+		out := postEstimate(t, ts.URL, "workload=spmm&repeats=1", bodies[i])
+		if out.status != 200 {
+			t.Fatalf("warmup %d: status %d: %v", i, out.status, out.body)
+		}
+		owner[i] = out.backend
+	}
+
+	// Kill the replica that owns input 0 — guaranteed to own part of
+	// the key range we keep requesting.
+	victim := owner[0]
+	victimIdx := -1
+	for i, u := range e.URLs() {
+		if u == victim {
+			victimIdx = i
+		}
+	}
+	if victimIdx < 0 {
+		t.Fatalf("victim %s not among embedded URLs %v", victim, e.URLs())
+	}
+	e.Stop(victimIdx)
+
+	// Keep traffic flowing while the gateway notices. Requests during
+	// this window may be served after internal retries; none should
+	// surface an error to the client (dial failures are retried on the
+	// next replica within the same request).
+	deadline := time.Now().Add(5 * time.Second)
+	for g.BreakerStates()[victim] != BreakerOpen {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker for dead backend never opened; states: %v", g.BreakerStates())
+		}
+		out := postEstimate(t, ts.URL, "workload=spmm&repeats=1", bodies[0])
+		if out.status != 200 {
+			t.Errorf("request during failover: status %d: %v", out.status, out.body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Settled: every key — including the dead replica's former range —
+	// is served by live backends with zero failures.
+	for round := 0; round < 2; round++ {
+		for i, body := range bodies {
+			out := postEstimate(t, ts.URL, "workload=spmm&repeats=1", body)
+			if out.status != 200 {
+				t.Errorf("post-remap input %d: status %d: %v", i, out.status, out.body)
+			}
+			if out.backend == victim {
+				t.Errorf("post-remap input %d still served by dead backend %s", i, victim)
+			}
+		}
+	}
+	if got := g.BreakerStates()[victim]; got == BreakerClosed {
+		t.Errorf("dead backend's breaker closed again: %v", got)
+	}
+
+	// The gateway itself stays healthy with 2/3 replicas.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("gateway /healthz = %d with live replicas remaining", resp.StatusCode)
+	}
+}
+
+// fakeBackend is a scriptable upstream for hedging/retry tests.
+type fakeBackend struct {
+	ts    *httptest.Server
+	delay atomic.Int64 // nanoseconds before answering /estimate
+	fail  atomic.Bool  // answer /estimate with HTTP 500
+	hits  atomic.Int64
+}
+
+func newFakeBackend(t *testing.T) *fakeBackend {
+	t.Helper()
+	f := &fakeBackend{}
+	f.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		f.hits.Add(1)
+		if d := time.Duration(f.delay.Load()); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if f.fail.Load() {
+			http.Error(w, "synthetic backend failure", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"threshold": 50, "input": "fake"}`)
+	}))
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func newFakeGateway(t *testing.T, mut func(*Config), fakes ...*fakeBackend) (*Gateway, *httptest.Server) {
+	t.Helper()
+	urls := make([]string, len(fakes))
+	for i, f := range fakes {
+		urls[i] = f.ts.URL
+	}
+	cfg := Config{
+		Backends:         urls,
+		HealthInterval:   time.Hour, // prober idle; tests drive traffic directly
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour,
+		MaxAttempts:      3,
+		RetryBase:        time.Millisecond,
+		RetryMax:         5 * time.Millisecond,
+		HedgeDelay:       -1,
+		Logf:             t.Logf,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	return g, ts
+}
+
+func getBody(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b), resp.Header
+}
+
+func TestGatewayHedgesSlowBackend(t *testing.T) {
+	a, b := newFakeBackend(t), newFakeBackend(t)
+	g, ts := newFakeGateway(t, func(c *Config) {
+		c.HedgeDelay = 25 * time.Millisecond
+	}, a, b)
+
+	// Make whichever replica owns the key slow; the hedge must win on
+	// the other one well before the owner answers.
+	byURL := map[string]*fakeBackend{a.ts.URL: a, b.ts.URL: b}
+	owner, _ := g.ring.Pick("dataset:cant")
+	byURL[owner].delay.Store(int64(2 * time.Second))
+
+	start := time.Now()
+	code, body, hdr := getBody(t, ts.URL+"/estimate?dataset=cant")
+	elapsed := time.Since(start)
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if got := hdr.Get("X-Hetgate-Backend"); got == owner {
+		t.Errorf("answer came from the slow owner %s; hedge never won", got)
+	}
+	if elapsed > time.Second {
+		t.Errorf("hedged request took %v; hedge did not short-circuit the slow owner", elapsed)
+	}
+	if _, hedges, _ := g.Metrics().Counts(); hedges != 1 {
+		t.Errorf("hedges = %d, want 1", hedges)
+	}
+}
+
+func TestGatewayRetriesAfter5xxAndTripsBreaker(t *testing.T) {
+	a, b := newFakeBackend(t), newFakeBackend(t)
+	g, ts := newFakeGateway(t, nil, a, b)
+
+	owner, _ := g.ring.Pick("dataset:cant")
+	byURL := map[string]*fakeBackend{a.ts.URL: a, b.ts.URL: b}
+	byURL[owner].fail.Store(true)
+
+	code, body, hdr := getBody(t, ts.URL+"/estimate?dataset=cant")
+	if code != 200 {
+		t.Fatalf("status %d after retry: %s", code, body)
+	}
+	if got := hdr.Get("X-Hetgate-Backend"); got == owner {
+		t.Errorf("answer attributed to the failing owner %s", got)
+	}
+	retries, _, _ := g.Metrics().Counts()
+	if retries != 1 {
+		t.Errorf("retries = %d, want 1", retries)
+	}
+	if got := g.BreakerStates()[owner]; got != BreakerOpen {
+		t.Errorf("failing owner's breaker = %v, want open (threshold 1)", got)
+	}
+
+	// With the breaker open the next request goes straight to the
+	// healthy replica: no new retry rounds.
+	code, body, _ = getBody(t, ts.URL+"/estimate?dataset=cant")
+	if code != 200 {
+		t.Fatalf("status %d with open breaker: %s", code, body)
+	}
+	if r2, _, _ := g.Metrics().Counts(); r2 != retries {
+		t.Errorf("open breaker still cost retry rounds: %d → %d", retries, r2)
+	}
+}
+
+func TestGatewayClientErrorsPassThroughWithoutRetry(t *testing.T) {
+	_, g, ts := startCluster(t, 2, nil)
+
+	code, body, _ := getBody(t, ts.URL+"/estimate?workload=spmm&dataset=no_such_matrix")
+	if code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404 passed through\n%s", code, body)
+	}
+	retries, _, _ := g.Metrics().Counts()
+	if retries != 0 {
+		t.Errorf("a 4xx cost %d retry rounds, want 0", retries)
+	}
+	for b, s := range g.BreakerStates() {
+		if s != BreakerClosed {
+			t.Errorf("breaker for %s = %v after a client error, want closed", b, s)
+		}
+	}
+}
+
+func TestGatewayDatasetsProxyAndMetrics(t *testing.T) {
+	_, _, ts := startCluster(t, 2, nil)
+
+	code, body, _ := getBody(t, ts.URL+"/datasets")
+	if code != 200 || !strings.Contains(body, "cant") {
+		t.Errorf("/datasets = %d\n%s", code, body)
+	}
+
+	// Generate a little traffic, then scrape.
+	mtx := genMTX(t, 300, 2400, 77)
+	postEstimate(t, ts.URL, "workload=spmm&repeats=1", mtx)
+	postEstimate(t, ts.URL, "workload=spmm&repeats=1", mtx)
+
+	code, metrics, _ := getBody(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"hetgate_upstream_requests_total{backend=",
+		"hetgate_breaker_state{backend=",
+		"hetgate_retries_total 0",
+		"hetgate_hedges_total 0",
+		"hetgate_upstream_duration_seconds_bucket",
+		"hetgate_health_probes_total{backend=",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

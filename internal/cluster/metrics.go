@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// upstreamBuckets are the upper bounds (seconds) of the per-backend
+// latency histogram: gateway-observed upstream latency spans coalesced
+// cache hits (~ms over loopback) to full estimation runs (seconds).
+var upstreamBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+type histogram struct {
+	counts []uint64 // one per bucket, plus +Inf at the end
+	sum    float64
+	total  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(upstreamBuckets)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(upstreamBuckets, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Metrics is the gateway's observability surface, exposed at /metrics
+// in the Prometheus text exposition format using only the standard
+// library — the same style as internal/serve. Labels are backend URLs
+// and status codes, both bounded by cluster size.
+type Metrics struct {
+	mu        sync.Mutex
+	upstream  map[string]uint64     // key: backend + "\x00" + code ("err" for transport failures)
+	latencies map[string]*histogram // key: backend
+	retries   uint64
+	hedges    uint64
+	coalesced uint64
+	probes    map[string]uint64 // key: backend + "\x00" + "ok"|"fail"
+	started   time.Time
+
+	// breakerStates reports live breaker positions at scrape time; set
+	// by the Gateway that owns the breakers.
+	breakerStates func() map[string]BreakerState
+}
+
+// NewMetrics returns an empty gateway metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		upstream:  make(map[string]uint64),
+		latencies: make(map[string]*histogram),
+		probes:    make(map[string]uint64),
+		started:   time.Now(),
+	}
+}
+
+// Upstream records one proxied request to backend with the given
+// status code (0 for a transport error) and its gateway-observed
+// latency.
+func (m *Metrics) Upstream(backend string, code int, elapsed time.Duration) {
+	label := "err"
+	if code > 0 {
+		label = strconv.Itoa(code)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.upstream[backend+"\x00"+label]++
+	h, ok := m.latencies[backend]
+	if !ok {
+		h = newHistogram()
+		m.latencies[backend] = h
+	}
+	h.observe(elapsed.Seconds())
+}
+
+// Retry records one retry round (an attempt after the first).
+func (m *Metrics) Retry() {
+	m.mu.Lock()
+	m.retries++
+	m.mu.Unlock()
+}
+
+// Hedge records one hedged request fired at a fallback replica.
+func (m *Metrics) Hedge() {
+	m.mu.Lock()
+	m.hedges++
+	m.mu.Unlock()
+}
+
+// Coalesced records a client request answered by another in-flight
+// identical request instead of its own upstream call.
+func (m *Metrics) Coalesced() {
+	m.mu.Lock()
+	m.coalesced++
+	m.mu.Unlock()
+}
+
+// Probe records one /healthz probe outcome for backend.
+func (m *Metrics) Probe(backend string, ok bool) {
+	label := "fail"
+	if ok {
+		label = "ok"
+	}
+	m.mu.Lock()
+	m.probes[backend+"\x00"+label]++
+	m.mu.Unlock()
+}
+
+// Counts returns the retry/hedge/coalesce totals (tests, bench).
+func (m *Metrics) Counts() (retries, hedges, coalesced uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.retries, m.hedges, m.coalesced
+}
+
+// WriteTo renders the registry in the Prometheus text format.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	p := func(format string, args ...any) error {
+		c, err := fmt.Fprintf(w, format, args...)
+		n += int64(c)
+		return err
+	}
+
+	if err := p("# HELP hetgate_upstream_requests_total Requests proxied to backends.\n# TYPE hetgate_upstream_requests_total counter\n"); err != nil {
+		return n, err
+	}
+	for _, k := range sortedKeys(m.upstream) {
+		backend, code, _ := strings.Cut(k, "\x00")
+		if err := p("hetgate_upstream_requests_total{backend=%q,code=%q} %d\n", backend, code, m.upstream[k]); err != nil {
+			return n, err
+		}
+	}
+
+	if err := p("# HELP hetgate_retries_total Retry rounds after a failed attempt.\n# TYPE hetgate_retries_total counter\nhetgate_retries_total %d\n", m.retries); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetgate_hedges_total Hedged requests fired at fallback replicas.\n# TYPE hetgate_hedges_total counter\nhetgate_hedges_total %d\n", m.hedges); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetgate_coalesced_total Requests coalesced into an identical in-flight upstream call.\n# TYPE hetgate_coalesced_total counter\nhetgate_coalesced_total %d\n", m.coalesced); err != nil {
+		return n, err
+	}
+
+	if err := p("# HELP hetgate_health_probes_total Health-prober outcomes by backend.\n# TYPE hetgate_health_probes_total counter\n"); err != nil {
+		return n, err
+	}
+	for _, k := range sortedKeys(m.probes) {
+		backend, outcome, _ := strings.Cut(k, "\x00")
+		if err := p("hetgate_health_probes_total{backend=%q,outcome=%q} %d\n", backend, outcome, m.probes[k]); err != nil {
+			return n, err
+		}
+	}
+
+	if m.breakerStates != nil {
+		if err := p("# HELP hetgate_breaker_state Circuit breaker position by backend (0 closed, 1 open, 2 half-open).\n# TYPE hetgate_breaker_state gauge\n"); err != nil {
+			return n, err
+		}
+		states := m.breakerStates()
+		for _, b := range sortedKeys(states) {
+			if err := p("hetgate_breaker_state{backend=%q,state=%q} %d\n", b, states[b], int(states[b])); err != nil {
+				return n, err
+			}
+		}
+	}
+
+	if err := p("# HELP hetgate_uptime_seconds Seconds since the gateway started.\n# TYPE hetgate_uptime_seconds gauge\nhetgate_uptime_seconds %g\n", time.Since(m.started).Seconds()); err != nil {
+		return n, err
+	}
+
+	if err := p("# HELP hetgate_upstream_duration_seconds Upstream latency by backend.\n# TYPE hetgate_upstream_duration_seconds histogram\n"); err != nil {
+		return n, err
+	}
+	for _, backend := range sortedKeys(m.latencies) {
+		h := m.latencies[backend]
+		var cum uint64
+		for i, ub := range upstreamBuckets {
+			cum += h.counts[i]
+			if err := p("hetgate_upstream_duration_seconds_bucket{backend=%q,le=%q} %d\n", backend, strconv.FormatFloat(ub, 'g', -1, 64), cum); err != nil {
+				return n, err
+			}
+		}
+		cum += h.counts[len(upstreamBuckets)]
+		if err := p("hetgate_upstream_duration_seconds_bucket{backend=%q,le=\"+Inf\"} %d\n", backend, cum); err != nil {
+			return n, err
+		}
+		if err := p("hetgate_upstream_duration_seconds_sum{backend=%q} %g\n", backend, h.sum); err != nil {
+			return n, err
+		}
+		if err := p("hetgate_upstream_duration_seconds_count{backend=%q} %d\n", backend, h.total); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

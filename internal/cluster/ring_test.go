@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingPickDeterministicAndBalanced(t *testing.T) {
+	r := NewRing(0)
+	backends := []string{"http://a:1", "http://b:1", "http://c:1"}
+	for _, b := range backends {
+		r.Add(b)
+	}
+
+	counts := make(map[string]int)
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("upload:%032x", i)
+		b1, ok := r.Pick(key)
+		if !ok {
+			t.Fatalf("Pick(%q) found no backend", key)
+		}
+		b2, _ := r.Pick(key)
+		if b1 != b2 {
+			t.Fatalf("Pick(%q) unstable: %s then %s", key, b1, b2)
+		}
+		counts[b1]++
+	}
+	for _, b := range backends {
+		// Perfect balance is 1000; with 64 vnodes the arcs are uneven
+		// but every backend must carry a substantial share.
+		if counts[b] < 300 {
+			t.Errorf("backend %s owns only %d/3000 keys", b, counts[b])
+		}
+	}
+}
+
+func TestRingRemoveRemapsOnlyOwnedKeys(t *testing.T) {
+	r := NewRing(0)
+	for _, b := range []string{"a", "b", "c"} {
+		r.Add(b)
+	}
+	before := make(map[string]string)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k], _ = r.Pick(k)
+	}
+
+	r.Remove("c")
+	for k, owner := range before {
+		now, ok := r.Pick(k)
+		if !ok {
+			t.Fatalf("Pick(%q) found no backend after Remove", k)
+		}
+		if owner != "c" && now != owner {
+			t.Errorf("key %q moved %s → %s though its owner survived", k, owner, now)
+		}
+		if owner == "c" && now == "c" {
+			t.Errorf("key %q still maps to removed backend", k)
+		}
+	}
+
+	// Adding c back restores the original assignment exactly.
+	r.Add("c")
+	for k, owner := range before {
+		if now, _ := r.Pick(k); now != owner {
+			t.Errorf("key %q: %s after re-add, want original owner %s", k, now, owner)
+		}
+	}
+}
+
+func TestRingReplicasDistinctAndStable(t *testing.T) {
+	r := NewRing(8)
+	for _, b := range []string{"a", "b", "c", "d"} {
+		r.Add(b)
+	}
+	rs := r.Replicas("some-key", 10)
+	if len(rs) != 4 {
+		t.Fatalf("Replicas = %v, want 4 distinct backends", rs)
+	}
+	seen := make(map[string]bool)
+	for _, b := range rs {
+		if seen[b] {
+			t.Fatalf("Replicas = %v contains a duplicate", rs)
+		}
+		seen[b] = true
+	}
+	if owner, _ := r.Pick("some-key"); owner != rs[0] {
+		t.Errorf("Replicas[0] = %s, Pick = %s; want equal", rs[0], owner)
+	}
+	if got := r.Replicas("some-key", 2); len(got) != 2 || got[0] != rs[0] || got[1] != rs[1] {
+		t.Errorf("Replicas(2) = %v, want prefix of %v", got, rs)
+	}
+}
+
+func TestRingEmptyAndNoops(t *testing.T) {
+	r := NewRing(4)
+	if _, ok := r.Pick("k"); ok {
+		t.Error("Pick on empty ring reported a backend")
+	}
+	r.Remove("ghost") // no-op
+	r.Add("a")
+	r.Add("a") // duplicate no-op
+	if n := r.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1", n)
+	}
+	if rs := r.Replicas("k", 3); len(rs) != 1 || rs[0] != "a" {
+		t.Errorf("Replicas = %v, want [a]", rs)
+	}
+}

@@ -1,0 +1,68 @@
+// Package flight provides request coalescing (singleflight): concurrent
+// callers asking for the same key share one execution of the underlying
+// function instead of each running it.
+//
+// Both layers of the serving stack use it. Inside hetserve it collapses
+// identical concurrent /estimate requests into one Sample → Identify →
+// Extrapolate pipeline run (the LRU only helps after the first request
+// completes). Inside hetgate it collapses identical concurrent client
+// requests into one upstream call, so a thundering herd on a popular
+// input costs a backend exactly one estimation.
+package flight
+
+import (
+	"errors"
+	"sync"
+)
+
+// errPanicked is what followers observe when the leader's function
+// panicked before producing a result; the panic itself propagates on
+// the leader's goroutine.
+var errPanicked = errors.New("flight: leader panicked before producing a result")
+
+type call struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Group coalesces concurrent calls by key. The zero value is ready to
+// use.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// Do invokes fn once per set of concurrent callers sharing key. The
+// first caller (the leader) runs fn; callers that arrive while it is
+// in flight block and receive the same value and error. leader reports
+// whether this caller ran fn itself — callers use it to distinguish a
+// real execution from a coalesced one in their metrics.
+//
+// Once the leader's fn returns, the key is forgotten: a later call
+// with the same key runs fn again. Persistent memoization is the
+// caller's cache's job, not Do's.
+func (g *Group) Do(key string, fn func() (any, error)) (v any, err error, leader bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, false
+	}
+	c := &call{err: errPanicked}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		c.wg.Done()
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, true
+}

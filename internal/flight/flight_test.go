@@ -1,0 +1,120 @@
+package flight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoCoalescesConcurrentCallers(t *testing.T) {
+	var g Group
+	var runs atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const callers = 8
+	var leaders atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(callers)
+
+	// The leader blocks inside fn until release is closed, guaranteeing
+	// every other caller arrives while it is in flight.
+	go func() {
+		defer wg.Done()
+		v, err, leader := g.Do("k", func() (any, error) {
+			runs.Add(1)
+			close(started)
+			<-release
+			return 42, nil
+		})
+		if err != nil || v.(int) != 42 || !leader {
+			t.Errorf("leader: v=%v err=%v leader=%v", v, err, leader)
+		}
+		leaders.Add(1)
+	}()
+	<-started
+
+	entered := make(chan struct{}, callers)
+	for i := 1; i < callers; i++ {
+		go func() {
+			defer wg.Done()
+			entered <- struct{}{}
+			v, err, leader := g.Do("k", func() (any, error) {
+				runs.Add(1)
+				return -1, nil
+			})
+			if err != nil || v.(int) != 42 {
+				t.Errorf("follower: v=%v err=%v", v, err)
+			}
+			if leader {
+				leaders.Add(1)
+			}
+		}()
+	}
+	// Wait for every follower to be on the verge of Do, give them a
+	// beat to actually block on the in-flight call, then release the
+	// leader.
+	for i := 1; i < callers; i++ {
+		<-entered
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := runs.Load(); n != 1 {
+		t.Errorf("fn ran %d times, want 1", n)
+	}
+	if n := leaders.Load(); n != 1 {
+		t.Errorf("%d leaders, want 1", n)
+	}
+}
+
+func TestDoErrorShared(t *testing.T) {
+	var g Group
+	sentinel := errors.New("boom")
+	_, err, leader := g.Do("k", func() (any, error) { return nil, sentinel })
+	if !errors.Is(err, sentinel) || !leader {
+		t.Errorf("err=%v leader=%v", err, leader)
+	}
+	// The key is forgotten after completion: the next call runs again.
+	v, err, leader := g.Do("k", func() (any, error) { return "ok", nil })
+	if err != nil || v.(string) != "ok" || !leader {
+		t.Errorf("second call: v=%v err=%v leader=%v", v, err, leader)
+	}
+}
+
+func TestDoDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g Group
+	var runs atomic.Int64
+	var wg sync.WaitGroup
+	for _, k := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Do(k, func() (any, error) { runs.Add(1); return nil, nil })
+		}()
+	}
+	wg.Wait()
+	if n := runs.Load(); n != 3 {
+		t.Errorf("fn ran %d times, want 3", n)
+	}
+}
+
+func TestDoLeaderPanicLeavesGroupUsable(t *testing.T) {
+	var g Group
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to leader")
+			}
+		}()
+		g.Do("k", func() (any, error) { panic("boom") })
+	}()
+	// The key must not be stuck: a fresh call runs normally.
+	v, err, leader := g.Do("k", func() (any, error) { return 1, nil })
+	if err != nil || v.(int) != 1 || !leader {
+		t.Errorf("after panic: v=%v err=%v leader=%v", v, err, leader)
+	}
+}

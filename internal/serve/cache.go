@@ -11,10 +11,11 @@ import (
 // a repeated identical request is answered from memory instead of
 // re-running the sampling pipeline.
 type LRU struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions uint64
 }
 
 type lruEntry struct {
@@ -61,6 +62,7 @@ func (c *LRU) Put(key string, val any) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions++
 	}
 }
 
@@ -69,4 +71,20 @@ func (c *LRU) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// CacheStats is a point-in-time snapshot of cache occupancy and
+// pressure, rendered at /metrics for capacity tuning.
+type CacheStats struct {
+	Len       int
+	Cap       int
+	Evictions uint64
+}
+
+// Stats returns the cache's current occupancy and lifetime eviction
+// count.
+func (c *LRU) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Len: c.ll.Len(), Cap: c.cap, Evictions: c.evictions}
 }

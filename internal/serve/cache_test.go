@@ -43,6 +43,58 @@ func TestLRUUpdateRefreshes(t *testing.T) {
 	}
 }
 
+// TestLRURefreshVsInsertEvictionOrder pins down the recency semantics
+// of Put: refreshing an existing key must promote it exactly like an
+// insert, and the eviction victim is always the true least-recently
+// used entry, whether recency came from Get or Put.
+func TestLRURefreshVsInsertEvictionOrder(t *testing.T) {
+	c := NewLRU(3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3) // recency: c > b > a
+
+	c.Put("a", 10) // refresh promotes: a > c > b
+	c.Get("b")     // lookup promotes: b > a > c
+
+	c.Put("d", 4) // insert evicts c, the actual LRU
+	if _, ok := c.Get("c"); ok {
+		t.Error("c survived; refresh/lookup promotion order is wrong")
+	}
+	for _, want := range []string{"a", "b", "d"} {
+		if _, ok := c.Get(want); !ok {
+			t.Errorf("%s evicted; should have survived", want)
+		}
+	}
+
+	// The refresh must not have grown the cache: exactly one eviction
+	// so far, from the one over-capacity insert.
+	if st := c.Stats(); st.Evictions != 1 || st.Len != 3 {
+		t.Errorf("stats = %+v, want 1 eviction and 3 entries", st)
+	}
+}
+
+func TestLRUStatsCountsEvictions(t *testing.T) {
+	c := NewLRU(2)
+	if st := c.Stats(); st.Evictions != 0 || st.Len != 0 || st.Cap != 2 {
+		t.Errorf("fresh stats = %+v", st)
+	}
+	c.Put("a", 1)
+	c.Put("a", 2) // refresh: no eviction
+	c.Put("b", 2)
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Errorf("evictions = %d before capacity pressure, want 0", st.Evictions)
+	}
+	c.Put("c", 3)
+	c.Put("d", 4)
+	st := c.Stats()
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.Len != 2 || st.Cap != 2 {
+		t.Errorf("stats = %+v, want len 2 cap 2", st)
+	}
+}
+
 func TestLRUDisabled(t *testing.T) {
 	c := NewLRU(0)
 	c.Put("a", 1)

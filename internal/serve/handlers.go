@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,6 +43,9 @@ type EstimateResponse struct {
 
 	// Cached reports whether this answer came from the result cache.
 	Cached bool `json:"cached"`
+	// Coalesced reports whether this answer was computed by an
+	// identical concurrent request's pipeline run (singleflight).
+	Coalesced bool `json:"coalesced"`
 	// WallMS is the server-side handling time of this request.
 	WallMS float64 `json:"wall_ms"`
 }
@@ -135,7 +139,7 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 		if len(body) == 0 {
 			return nil, badRequest("empty POST body; upload a MatrixMarket matrix or GET ?dataset=")
 		}
-		fp := fingerprint(body)
+		fp := Fingerprint(body)
 		input, key = "upload:"+fp, "upload:"+fp
 	} else {
 		name := q.Get("dataset")
@@ -158,14 +162,40 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 		resp.Cached = true
 		return &resp, nil
 	}
-	s.metrics.CacheMiss()
 
-	ctx, cancel, err := s.requestContext(r)
+	// Validated before coalescing: a malformed ?timeout= must 400 this
+	// request alone, not a herd it would otherwise lead.
+	timeout, err := s.requestTimeout(r)
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	defer cancel()
 
+	// Coalesce on the cache key: concurrent identical requests share
+	// one pipeline run instead of each burning a worker slot — the LRU
+	// only helps after the first completes. Followers inherit the
+	// leader's outcome, deadline included; that is the usual
+	// singleflight trade and estimation results are request-agnostic.
+	v, err, leader := s.flight.Do(cacheKey, func() (any, error) {
+		s.metrics.CacheMiss()
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		return s.runPipeline(ctx, cacheKey, workload, input, body, searcher, seed, repeats)
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := *(v.(*EstimateResponse)) // copy; Coalesced/WallMS are per-request
+	if !leader {
+		s.metrics.Coalesced()
+		resp.Coalesced = true
+	}
+	return &resp, nil
+}
+
+// runPipeline executes the Sample → Identify → Extrapolate pipeline
+// for one cache miss: acquire a worker slot, build the workload, run
+// the estimation, and cache the result.
+func (s *Server) runPipeline(ctx context.Context, cacheKey, workload, input string, body []byte, searcher core.Searcher, seed uint64, repeats int) (*EstimateResponse, error) {
 	// The pool bounds concurrent pipeline runs; waiters respect the
 	// request deadline, so a client that gives up never holds a slot.
 	if err := s.pool.Acquire(ctx); err != nil {
@@ -174,6 +204,7 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 	defer s.pool.Release()
 
 	var cw core.Sampled
+	var err error
 	if body != nil {
 		coo, err := mmio.ReadLimited(bytes.NewReader(body), s.cfg.MaxUploadBytes)
 		if err != nil {

@@ -45,8 +45,13 @@ type Metrics struct {
 	requests  map[string]uint64 // key: workload + "\x00" + code
 	hits      uint64
 	misses    uint64
+	coalesced uint64
 	latencies map[string]*histogram // key: workload
 	started   time.Time
+
+	// cacheStats reports live cache occupancy and evictions at scrape
+	// time; set by the Server that owns the LRU.
+	cacheStats func() CacheStats
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -87,6 +92,29 @@ func (m *Metrics) CacheHit() {
 func (m *Metrics) CacheMiss() {
 	m.mu.Lock()
 	m.misses++
+	m.mu.Unlock()
+}
+
+// Coalesced records an estimation answered by an identical in-flight
+// request's pipeline run instead of its own.
+func (m *Metrics) Coalesced() {
+	m.mu.Lock()
+	m.coalesced++
+	m.mu.Unlock()
+}
+
+// CacheCounts returns the hit/miss/coalesce totals (tests).
+func (m *Metrics) CacheCounts() (hits, misses, coalesced uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses, m.coalesced
+}
+
+// SetCacheStats registers a callback reporting live cache occupancy,
+// rendered at /metrics.
+func (m *Metrics) SetCacheStats(fn func() CacheStats) {
+	m.mu.Lock()
+	m.cacheStats = fn
 	m.mu.Unlock()
 }
 
@@ -136,6 +164,18 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	}
 	if err := p("# HELP hetserve_cache_hit_ratio Cache hits over all lookups.\n# TYPE hetserve_cache_hit_ratio gauge\nhetserve_cache_hit_ratio %g\n", ratio); err != nil {
 		return n, err
+	}
+	if err := p("# HELP hetserve_coalesced_total Estimations coalesced into an identical in-flight pipeline run.\n# TYPE hetserve_coalesced_total counter\nhetserve_coalesced_total %d\n", m.coalesced); err != nil {
+		return n, err
+	}
+	if m.cacheStats != nil {
+		cs := m.cacheStats()
+		if err := p("# HELP hetserve_cache_entries Result-cache entries currently held.\n# TYPE hetserve_cache_entries gauge\nhetserve_cache_entries %d\n", cs.Len); err != nil {
+			return n, err
+		}
+		if err := p("# HELP hetserve_cache_evictions_total Result-cache entries evicted under capacity pressure.\n# TYPE hetserve_cache_evictions_total counter\nhetserve_cache_evictions_total %d\n", cs.Evictions); err != nil {
+			return n, err
+		}
 	}
 	if err := p("# HELP hetserve_in_flight_requests Requests currently being handled.\n# TYPE hetserve_in_flight_requests gauge\nhetserve_in_flight_requests %d\n", m.inFlight.Load()); err != nil {
 		return n, err

@@ -69,3 +69,84 @@ func TestPoolDefaultSize(t *testing.T) {
 		t.Error("default pool has no slots")
 	}
 }
+
+// TestPoolContendedWaitersHalfCancelled queues many waiters behind a
+// saturated pool, cancels half of them, and verifies the cancelled
+// half never acquire while the surviving half all do — no waiter is
+// starved and no slot leaks.
+func TestPoolContendedWaitersHalfCancelled(t *testing.T) {
+	const (
+		slots   = 2
+		waiters = 20
+	)
+	p := NewPool(slots)
+	for i := 0; i < slots; i++ {
+		if err := p.Acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type waiter struct {
+		cancel context.CancelFunc
+		err    chan error
+	}
+	ws := make([]waiter, waiters)
+	var queued sync.WaitGroup
+	for i := range ws {
+		ctx, cancel := context.WithCancel(context.Background())
+		ws[i] = waiter{cancel: cancel, err: make(chan error, 1)}
+		queued.Add(1)
+		go func(w waiter) {
+			queued.Done()
+			err := p.Acquire(ctx)
+			if err == nil {
+				// Hold briefly so contention is real, then hand the
+				// slot to the next waiter.
+				time.Sleep(time.Millisecond)
+				p.Release()
+			}
+			w.err <- err
+		}(ws[i])
+	}
+	queued.Wait()
+	time.Sleep(10 * time.Millisecond) // let waiters block in Acquire
+
+	// Cancel every second waiter while all of them are queued.
+	for i := 0; i < waiters; i += 2 {
+		ws[i].cancel()
+	}
+	// Release the held slots: the surviving waiters drain the queue.
+	for i := 0; i < slots; i++ {
+		p.Release()
+	}
+
+	var acquired, cancelled int
+	for i, w := range ws {
+		select {
+		case err := <-w.err:
+			switch {
+			case err == nil:
+				acquired++
+			case err == context.Canceled:
+				cancelled++
+			default:
+				t.Errorf("waiter %d: unexpected error %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d starved", i)
+		}
+		w.cancel()
+	}
+	// A cancelled waiter may still have won the race with a free slot
+	// before its cancellation was observed — but no survivor may end
+	// up cancelled, and nobody may starve.
+	if acquired < waiters/2 {
+		t.Errorf("%d waiters acquired, want >= %d (every survivor)", acquired, waiters/2)
+	}
+	if acquired+cancelled != waiters {
+		t.Errorf("acquired %d + cancelled %d != %d waiters", acquired, cancelled, waiters)
+	}
+	if p.InUse() != 0 {
+		t.Errorf("slots leaked: %d in use", p.InUse())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -221,6 +222,71 @@ func TestEstimateTimeoutCancelsCleanly(t *testing.T) {
 	ok := postMTX(t, ts.URL+"/estimate?workload=spmm", mtx, 200)
 	if ok["cached"].(bool) {
 		t.Error("cancelled run left a cache entry")
+	}
+}
+
+// TestEstimateCoalescesConcurrentIdenticalRequests is the regression
+// test for serve-side singleflight: before it, two identical
+// concurrent POSTs both ran the full Sample → Identify → Extrapolate
+// pipeline because the LRU only helps after the first completes.
+func TestEstimateCoalescesConcurrentIdenticalRequests(t *testing.T) {
+	srv := New(Config{Workers: 4, CacheSize: 8, Logf: t.Logf})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// A workload slow enough that concurrent posts overlap the leader's
+	// pipeline run.
+	mtx := genMTX(t, 20000, 120000, 13)
+	const callers = 6
+	var wg sync.WaitGroup
+	results := make([]map[string]any, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = postMTX(t, ts.URL+"/estimate?workload=spmm&repeats=1", mtx, 200)
+		}(i)
+	}
+	wg.Wait()
+
+	// However the arrivals interleaved, the pipeline ran exactly once;
+	// every other caller was coalesced mid-flight or served from the
+	// cache just after.
+	hits, misses, coalesced := srv.Metrics().CacheCounts()
+	if misses != 1 {
+		t.Errorf("pipeline ran %d times for %d identical requests, want 1", misses, callers)
+	}
+	if hits+coalesced != callers-1 {
+		t.Errorf("hits %d + coalesced %d != %d followers", hits, coalesced, callers-1)
+	}
+	thr := results[0]["threshold"].(float64)
+	for i, r := range results {
+		if r["threshold"].(float64) != thr {
+			t.Errorf("caller %d: threshold %v != %v", i, r["threshold"], thr)
+		}
+		cached, _ := r["cached"].(bool)
+		co, _ := r["coalesced"].(bool)
+		if cached && co {
+			t.Errorf("caller %d reports both cached and coalesced", i)
+		}
+	}
+
+	// The coalesce and eviction counters are visible at /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"hetserve_coalesced_total",
+		"hetserve_cache_evictions_total 0",
+		"hetserve_cache_entries 1",
+		"hetserve_cache_misses_total 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q\n%s", want, metrics)
+		}
 	}
 }
 

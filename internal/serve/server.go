@@ -8,8 +8,10 @@
 //
 // Internals: a bounded worker Pool feeds the estimation pipeline, an
 // LRU result cache keyed by (input fingerprint, workload, seed,
-// searcher config) answers repeated inputs from memory, and Metrics
-// exposes request counts, cache hit ratio, an in-flight gauge and
+// searcher config) answers repeated inputs from memory, identical
+// concurrent requests coalesce into a single pipeline run
+// (singleflight on the cache key), and Metrics exposes request counts,
+// cache hit ratio, coalesce counts, an in-flight gauge and
 // per-workload latency histograms at /metrics — all standard library.
 package serve
 
@@ -21,6 +23,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/hetsim"
 )
 
@@ -57,6 +60,7 @@ type Server struct {
 	platform *hetsim.Platform
 	pool     *Pool
 	cache    *LRU
+	flight   flight.Group
 	metrics  *Metrics
 	mux      *http.ServeMux
 }
@@ -83,6 +87,7 @@ func New(cfg Config) *Server {
 	if s.platform == nil {
 		s.platform = hetsim.Default()
 	}
+	s.metrics.SetCacheStats(s.cache.Stats)
 	s.mux.HandleFunc("/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/datasets", s.handleDatasets)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -111,24 +116,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// requestContext derives the handler context: the client's, bounded by
-// the server-wide maximum and optionally tightened by ?timeout=.
-func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+// requestTimeout derives the handler deadline: the server-wide
+// maximum, optionally tightened by ?timeout=. It is validated before
+// singleflight coalescing so a malformed timeout 400s only its own
+// request, never a coalesced herd.
+func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
 	timeout := s.cfg.MaxTimeout
 	if v := r.URL.Query().Get("timeout"); v != "" {
 		d, err := time.ParseDuration(v)
 		if err != nil {
-			return nil, nil, fmt.Errorf("bad timeout %q: %w", v, err)
+			return 0, fmt.Errorf("bad timeout %q: %w", v, err)
 		}
 		if d <= 0 {
-			return nil, nil, fmt.Errorf("timeout %q must be positive", v)
+			return 0, fmt.Errorf("timeout %q must be positive", v)
 		}
 		if d < timeout {
 			timeout = d
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	return ctx, cancel, nil
+	return timeout, nil
 }
 
 // statusFor maps pipeline errors to HTTP status codes.
@@ -147,9 +153,12 @@ func statusFor(err error) int {
 // abandoned by the client; no standard constant exists.
 const StatusClientClosedRequest = 499
 
-// fingerprint hashes an uploaded body so identical uploads share a
-// cache entry without retaining the bytes.
-func fingerprint(b []byte) string {
+// Fingerprint hashes an uploaded body so identical uploads share a
+// cache entry without retaining the bytes. Exported so the hetgate
+// gateway shards requests by the exact key this cache uses — routing
+// and caching agreeing on input identity is what makes ring locality
+// pay off.
+func Fingerprint(b []byte) string {
 	h := fnv.New64a()
 	h.Write(b)
 	return fmt.Sprintf("%016x", h.Sum64())
