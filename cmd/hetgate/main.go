@@ -30,7 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mmio"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sparse"
 )
@@ -68,6 +69,9 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "workers per embedded backend")
 		cacheSize  = flag.Int("cache", serve.DefaultCacheSize, "result-cache capacity per embedded backend")
 		verbose    = flag.Bool("v", false, "log retries, hedges and breaker transitions")
+		seed       = flag.Int64("seed", cluster.DefaultSeed, "seed for the retry-jitter RNG (reproducible backoff schedules)")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		pprofFlag  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		benchN     = flag.Int("bench", 0, "run N requests against an embedded cluster, write a latency report, and exit")
 		benchConc  = flag.Int("bench-concurrency", 8, "concurrent clients in bench mode")
 		benchOut   = flag.String("bench-out", "BENCH_gate.json", "bench report path")
@@ -82,6 +86,7 @@ func main() {
 		healthIvl: *healthIvl, brkThresh: *brkThresh, brkCool: *brkCool,
 		upTimeout: *upTimeout, maxUpload: *maxUpload,
 		workers: *workers, cacheSize: *cacheSize, verbose: *verbose,
+		seed: *seed, logJSON: *logJSON, pprof: *pprofFlag,
 		benchN: *benchN, benchConc: *benchConc, benchOut: *benchOut, benchInputs: *benchInput,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "hetgate:", err)
@@ -100,17 +105,19 @@ type config struct {
 	maxUpload           int64
 	workers, cacheSize  int
 	verbose             bool
+	seed                int64
+	logJSON, pprof      bool
 	benchN, benchConc   int
 	benchOut            string
 	benchInputs         int
 }
 
 func run(c config) error {
-	logger := log.New(os.Stderr, "", log.LstdFlags)
-	logf := func(string, ...any) {}
+	level := slog.LevelInfo
 	if c.verbose {
-		logf = logger.Printf
+		level = slog.LevelDebug
 	}
+	logger := obs.NewLogger(os.Stderr, "hetgate", level, c.logJSON)
 
 	// Resolve backends: explicit URLs, or an embedded loopback cluster.
 	var urls []string
@@ -134,14 +141,17 @@ func run(c config) error {
 			Workers:        c.workers,
 			CacheSize:      c.cacheSize,
 			MaxUploadBytes: c.maxUpload,
-			Logf:           logf,
+			Logger:         obs.NewLogger(os.Stderr, "hetserve", level, c.logJSON),
+			EnablePprof:    c.pprof,
 		})
 		if err != nil {
 			return err
 		}
 		defer e.Close()
 		urls = e.URLs()
-		logger.Printf("hetgate: started %d embedded backends: %s", k, strings.Join(urls, ", "))
+		logger.Info("started embedded backends",
+			slog.Int("count", k),
+			slog.String("urls", strings.Join(urls, ", ")))
 	}
 
 	g, err := cluster.New(cluster.Config{
@@ -156,7 +166,9 @@ func run(c config) error {
 		BreakerCooldown:  c.brkCool,
 		UpstreamTimeout:  c.upTimeout,
 		MaxBodyBytes:     c.maxUpload,
-		Logf:             logf,
+		Logger:           logger,
+		Seed:             c.seed,
+		EnablePprof:      c.pprof,
 	})
 	if err != nil {
 		return err
@@ -183,7 +195,10 @@ func run(c config) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("hetgate: listening on %s fronting %d backends", c.addr, len(urls))
+		logger.Info("listening",
+			slog.String("addr", c.addr),
+			slog.Int("backends", len(urls)),
+			slog.Bool("pprof", c.pprof))
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -193,7 +208,10 @@ func run(c config) error {
 	case <-ctx.Done():
 	}
 	retries, hedges, coalesced := g.Metrics().Counts()
-	logger.Printf("hetgate: shutting down (retries %d, hedges %d, coalesced %d)", retries, hedges, coalesced)
+	logger.Info("shutting down",
+		slog.Uint64("retries", retries),
+		slog.Uint64("hedges", hedges),
+		slog.Uint64("coalesced", coalesced))
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -227,7 +245,7 @@ type benchReport struct {
 
 // runBench drives the gateway handler over a real loopback listener
 // with a fixed mix of uploaded inputs and writes the latency report.
-func runBench(ctx context.Context, g *cluster.Gateway, c config, logger *log.Logger) error {
+func runBench(ctx context.Context, g *cluster.Gateway, c config, logger *slog.Logger) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -255,8 +273,11 @@ func runBench(ctx context.Context, g *cluster.Gateway, c config, logger *log.Log
 		bodies[i] = buf.Bytes()
 	}
 
-	logger.Printf("hetgate: bench %d requests, %d clients, %d inputs, %d backends",
-		c.benchN, c.benchConc, c.benchInputs, len(g.Backends()))
+	logger.Info("bench starting",
+		slog.Int("requests", c.benchN),
+		slog.Int("clients", c.benchConc),
+		slog.Int("inputs", c.benchInputs),
+		slog.Int("backends", len(g.Backends())))
 
 	var (
 		mu        sync.Mutex
@@ -353,9 +374,15 @@ func runBench(ctx context.Context, g *cluster.Gateway, c config, logger *log.Log
 	if err := f.Close(); err != nil {
 		return err
 	}
-	logger.Printf("hetgate: bench done in %v: p50 %.2fms p95 %.2fms p99 %.2fms, cache hit %.0f%%, coalesce %.0f%%, %d errors → %s",
-		elapsed.Round(time.Millisecond), rep.P50MS, rep.P95MS, rep.P99MS,
-		100*rep.CacheHit, 100*rep.GwCoalesce, rep.Errors, c.benchOut)
+	logger.Info("bench done",
+		slog.Duration("elapsed", elapsed.Round(time.Millisecond)),
+		slog.Float64("p50_ms", rep.P50MS),
+		slog.Float64("p95_ms", rep.P95MS),
+		slog.Float64("p99_ms", rep.P99MS),
+		slog.Float64("cache_hit", rep.CacheHit),
+		slog.Float64("coalesce", rep.GwCoalesce),
+		slog.Int("errors", rep.Errors),
+		slog.String("out", c.benchOut))
 	if rep.Errors > 0 {
 		return fmt.Errorf("bench finished with %d errors", rep.Errors)
 	}

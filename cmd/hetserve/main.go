@@ -27,7 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -46,24 +47,31 @@ func main() {
 		maxUpload = flag.Int64("max-upload", serve.DefaultMaxUpload, "max POST body bytes")
 		timeout   = flag.Duration("timeout", serve.DefaultMaxTimeout, "per-request deadline cap")
 		verbose   = flag.Bool("v", false, "log per-request trace summaries")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		pprof     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *workers, *cacheSize, *maxUpload, *timeout, *verbose); err != nil {
+	if err := run(*addr, *workers, *cacheSize, *maxUpload, *timeout, *verbose, *logJSON, *pprof); err != nil {
 		fmt.Fprintln(os.Stderr, "hetserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, cacheSize int, maxUpload int64, timeout time.Duration, verbose bool) error {
-	logger := log.New(os.Stderr, "", log.LstdFlags)
+func run(addr string, workers, cacheSize int, maxUpload int64, timeout time.Duration, verbose, logJSON, pprof bool) error {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stderr, "hetserve", level, logJSON)
 	s := serve.New(serve.Config{
 		Workers:        workers,
 		CacheSize:      cacheSize,
 		MaxUploadBytes: maxUpload,
 		MaxTimeout:     timeout,
 		Verbose:        verbose,
-		Logf:           logger.Printf,
+		Logger:         logger,
+		EnablePprof:    pprof,
 	})
 
 	srv := &http.Server{
@@ -85,7 +93,11 @@ func run(addr string, workers, cacheSize int, maxUpload int64, timeout time.Dura
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("hetserve: listening on %s (%d workers, cache %d)", addr, workers, cacheSize)
+		logger.Info("listening",
+			slog.String("addr", addr),
+			slog.Int("workers", workers),
+			slog.Int("cache", cacheSize),
+			slog.Bool("pprof", pprof))
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -94,7 +106,7 @@ func run(addr string, workers, cacheSize int, maxUpload int64, timeout time.Dura
 		return err
 	case <-ctx.Done():
 	}
-	logger.Printf("hetserve: shutting down (cache hit ratio %.2f)", s.Metrics().CacheHitRatio())
+	logger.Info("shutting down", slog.Float64("cache_hit_ratio", s.Metrics().CacheHitRatio()))
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

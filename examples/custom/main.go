@@ -108,7 +108,7 @@ func (b *imageBatch) Name() string { return "imagepipe/" + b.name }
 
 // Sample implements core.Sampled: a 1/30 uniform subsample preserves
 // the size distribution while keeping Identify cheap.
-func (b *imageBatch) Sample(r *xrand.Rand) (core.Workload, time.Duration, error) {
+func (b *imageBatch) Sample(ctx context.Context, r *xrand.Rand) (core.Workload, time.Duration, error) {
 	k := len(b.pixels) / 30
 	if k < 1 {
 		k = 1

@@ -40,7 +40,7 @@ func main() {
 
 	// Show the sampler's degree compression: rows of degree d keep
 	// ≈ √d entries.
-	sw, _, err := w.Sample(xrand.New(1))
+	sw, _, err := w.Sample(context.Background(), xrand.New(1))
 	if err != nil {
 		log.Fatal(err)
 	}

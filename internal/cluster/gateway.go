@@ -6,15 +6,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/flight"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -70,9 +73,23 @@ type Config struct {
 	// Client is the upstream HTTP client; nil means a dedicated
 	// http.Client with sane pooling.
 	Client *http.Client
-	// Logf receives log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured log records (request lines, probe
+	// failures, upstream errors) with trace/request IDs attached from
+	// the context; nil discards them.
+	Logger *slog.Logger
+	// Seed seeds the gateway's jitter RNG so retry/backoff schedules
+	// are reproducible across runs; 0 means DefaultSeed.
+	Seed int64
+	// SpanCapacity bounds the span sink's ring buffer; <= 0 means
+	// obs.DefaultSinkCapacity.
+	SpanCapacity int
+	// EnablePprof registers net/http/pprof under /debug/pprof/.
+	// Off by default: profiling endpoints expose heap contents.
+	EnablePprof bool
 }
+
+// DefaultSeed seeds the backoff-jitter RNG when Config.Seed is zero.
+const DefaultSeed = 1
 
 var errNoBackendAvailable = errors.New("no backend available (all circuit breakers open)")
 
@@ -91,6 +108,8 @@ type Gateway struct {
 
 	flight  flight.Group
 	metrics *Metrics
+	sink    *obs.Sink
+	logger  *slog.Logger
 	mux     *http.ServeMux
 
 	rngMu sync.Mutex
@@ -126,8 +145,11 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = serve.DefaultMaxUpload
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = DefaultSeed
 	}
 	g := &Gateway{
 		cfg:      cfg,
@@ -135,8 +157,10 @@ func New(cfg Config) (*Gateway, error) {
 		client:   cfg.Client,
 		breakers: make(map[string]*Breaker),
 		metrics:  NewMetrics(),
+		sink:     obs.NewSink(cfg.SpanCapacity),
+		logger:   cfg.Logger,
 		mux:      http.NewServeMux(),
-		rng:      rand.New(rand.NewSource(1)),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
 	if g.client == nil {
 		g.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
@@ -150,10 +174,18 @@ func New(cfg Config) (*Gateway, error) {
 		g.breakers[u] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	g.metrics.breakerStates = g.BreakerStates
-	g.mux.HandleFunc("/estimate", g.handleEstimate)
-	g.mux.HandleFunc("/datasets", g.handleDatasets)
+	// The proxied routes get the full middleware (request IDs, gateway
+	// spans, request log lines); /healthz and /metrics stay bare so
+	// scrapes and probes don't flood the span ring.
+	ho := obs.HTTPOptions{Service: "hetgate", Sink: g.sink, Logger: g.logger}
+	g.mux.Handle("/estimate", obs.Handler(ho, "http.estimate", http.HandlerFunc(g.handleEstimate)))
+	g.mux.Handle("/datasets", obs.Handler(ho, "http.datasets", http.HandlerFunc(g.handleDatasets)))
 	g.mux.HandleFunc("/healthz", g.handleHealthz)
 	g.mux.HandleFunc("/metrics", g.handleMetrics)
+	g.mux.Handle("/debug/spans", g.sink.Handler())
+	if cfg.EnablePprof {
+		obs.RegisterPprof(g.mux)
+	}
 	return g, nil
 }
 
@@ -162,6 +194,9 @@ func (g *Gateway) Handler() http.Handler { return g.mux }
 
 // Metrics exposes the registry (tests and the CLI's bench mode).
 func (g *Gateway) Metrics() *Metrics { return g.metrics }
+
+// Sink exposes the span sink (tests, trace assertions).
+func (g *Gateway) Sink() *obs.Sink { return g.sink }
 
 // Backends returns the ring membership.
 func (g *Gateway) Backends() []string { return g.ring.Members() }
@@ -217,7 +252,9 @@ func (g *Gateway) probeAll(ctx context.Context) {
 			br.Record(ok)
 			g.metrics.Probe(backend, ok)
 			if !ok {
-				g.cfg.Logf("hetgate: health probe failed for %s (breaker %s)", backend, br.State())
+				g.logger.Warn("health probe failed",
+					slog.String("backend", backend),
+					slog.String("breaker", br.State().String()))
 			}
 		}(b, br)
 	}
@@ -260,7 +297,13 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if _, err := g.metrics.WriteTo(w); err != nil {
-		g.cfg.Logf("hetgate: writing metrics: %v", err)
+		g.logger.Error("writing metrics", slog.Any("err", err))
+		return
+	}
+	// Stage profiles come from the span sink: every finished span feeds
+	// a histogram keyed by its name (forward/upstream/http.estimate).
+	if _, err := g.sink.WriteProm(w, "hetgate_stage_seconds"); err != nil {
+		g.logger.Error("writing stage metrics", slog.Any("err", err))
 	}
 }
 
@@ -282,7 +325,7 @@ func (g *Gateway) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		}
 		lastErr = err
 	}
-	writeError(w, http.StatusBadGateway, lastErr)
+	writeError(r.Context(), w, http.StatusBadGateway, lastErr)
 }
 
 // upstreamResult is one buffered backend answer, replayable to every
@@ -303,9 +346,16 @@ func writeUpstream(w http.ResponseWriter, res *upstreamResult) {
 	w.Write(res.body)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
+// writeError renders a JSON error body. The request ID from ctx (set
+// by the obs middleware) is echoed so clients can quote it when
+// reporting failures.
+func writeError(ctx context.Context, w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(code)
+	if id := obs.RequestID(ctx); id != "" {
+		fmt.Fprintf(w, "{\n  \"error\": %q,\n  \"request_id\": %q\n}\n", err.Error(), id)
+		return
+	}
 	fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", err.Error())
 }
 
@@ -314,7 +364,7 @@ func writeError(w http.ResponseWriter, code int, err error) {
 // requests, then forward along the key's replica chain.
 func (g *Gateway) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		writeError(r.Context(), w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 		return
 	}
 	var body []byte
@@ -324,11 +374,11 @@ func (g *Gateway) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			var tooLarge *http.MaxBytesError
 			if errors.As(err, &tooLarge) {
-				writeError(w, http.StatusRequestEntityTooLarge,
+				writeError(r.Context(), w, http.StatusRequestEntityTooLarge,
 					fmt.Errorf("upload exceeds %d bytes", g.cfg.MaxBodyBytes))
 				return
 			}
-			writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %v", err))
+			writeError(r.Context(), w, http.StatusBadRequest, fmt.Errorf("reading body: %v", err))
 			return
 		}
 		body = b
@@ -351,20 +401,36 @@ func (g *Gateway) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	v, err, leader := g.flight.Do(flightKey, func() (any, error) {
 		// Detached context: the upstream call outlives any single
 		// waiter, so one impatient client cannot fail the whole herd.
-		ctx, cancel := context.WithTimeout(context.Background(), g.cfg.UpstreamTimeout)
+		// obs.Detach keeps the leader's span/request identity so the
+		// forward and upstream spans land in the leader's trace.
+		ctx, cancel := context.WithTimeout(obs.Detach(r.Context()), g.cfg.UpstreamTimeout)
 		defer cancel()
-		return g.forward(ctx, r.Method, r.URL.RawQuery, body, key)
+		ctx, sp := obs.StartSpan(ctx, "forward")
+		sp.SetAttr("key", key)
+		res, err := g.forward(ctx, r.Method, r.URL.RawQuery, body, key)
+		if err != nil {
+			sp.RecordError(err)
+		} else {
+			sp.SetAttr("backend", res.backend)
+		}
+		sp.Finish()
+		return res, err
 	})
 	if !leader {
 		g.metrics.Coalesced()
+		obs.SpanFromContext(r.Context()).SetAttr("coalesced", "true")
 	}
 	if err != nil {
 		code := http.StatusBadGateway
 		if errors.Is(err, context.DeadlineExceeded) {
 			code = http.StatusGatewayTimeout
 		}
-		g.cfg.Logf("hetgate: %s %s: %v (HTTP %d)", r.Method, r.URL.Path, err, code)
-		writeError(w, code, err)
+		g.logger.ErrorContext(r.Context(), "estimate failed",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", code),
+			slog.Any("err", err))
+		writeError(r.Context(), w, code, err)
 		return
 	}
 	res := v.(*upstreamResult)
@@ -423,6 +489,7 @@ func (g *Gateway) forward(ctx context.Context, method, rawQuery string, body []b
 	for attempt := 0; attempt < g.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			g.metrics.Retry()
+			obs.SpanFromContext(ctx).SetAttr("retries", strconv.Itoa(attempt))
 			if err := sleepCtx(ctx, g.backoff(attempt)); err != nil {
 				return nil, fmt.Errorf("%w (last error: %v)", err, lastErr)
 			}
@@ -514,6 +581,7 @@ func (g *Gateway) tryHedged(ctx context.Context, primary string, pick func() (st
 			hedgeC = nil
 			if b, ok := pick(); ok {
 				g.metrics.Hedge()
+				obs.SpanFromContext(ctx).SetAttr("hedged", "true")
 				launch(b)
 				inFlight++
 			}
@@ -537,38 +605,51 @@ func (g *Gateway) do(ctx context.Context, backend, method, path, rawQuery string
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
+	ctx, sp := obs.StartSpan(ctx, "upstream")
+	sp.SetAttr("backend", backend)
+	sp.SetAttr("http.path", path)
+	fail := func(err error) (*upstreamResult, error) {
+		sp.RecordError(err)
+		sp.Finish()
+		return nil, err
+	}
 	req, err := http.NewRequestWithContext(ctx, method, u, rd)
 	if err != nil {
-		return nil, fmt.Errorf("building request for %s: %w", backend, err)
+		return fail(fmt.Errorf("building request for %s: %w", backend, err))
 	}
+	// Propagate the trace and request identity so the backend's spans
+	// join this trace instead of starting their own.
+	obs.Inject(ctx, req.Header)
 	start := time.Now()
 	resp, err := g.client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
 			g.breaker(backend).Release()
-			return nil, ctx.Err()
+			return fail(ctx.Err())
 		}
 		g.breaker(backend).Record(false)
 		g.metrics.Upstream(backend, 0, time.Since(start))
-		return nil, fmt.Errorf("backend %s: %w", backend, err)
+		return fail(fmt.Errorf("backend %s: %w", backend, err))
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(io.LimitReader(resp.Body, maxUpstreamResponse))
 	if err != nil {
 		if ctx.Err() != nil {
 			g.breaker(backend).Release()
-			return nil, ctx.Err()
+			return fail(ctx.Err())
 		}
 		g.breaker(backend).Record(false)
 		g.metrics.Upstream(backend, 0, time.Since(start))
-		return nil, fmt.Errorf("backend %s: reading response: %w", backend, err)
+		return fail(fmt.Errorf("backend %s: reading response: %w", backend, err))
 	}
 	g.metrics.Upstream(backend, resp.StatusCode, time.Since(start))
+	sp.SetAttr("http.status", strconv.Itoa(resp.StatusCode))
 	if resp.StatusCode >= 500 {
 		g.breaker(backend).Record(false)
-		return nil, fmt.Errorf("backend %s: HTTP %d: %s", backend, resp.StatusCode, firstLine(b))
+		return fail(fmt.Errorf("backend %s: HTTP %d: %s", backend, resp.StatusCode, firstLine(b)))
 	}
 	g.breaker(backend).Record(true)
+	sp.Finish()
 	return &upstreamResult{
 		status:      resp.StatusCode,
 		contentType: resp.Header.Get("Content-Type"),

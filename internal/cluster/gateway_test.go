@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -18,6 +19,19 @@ import (
 	"repro/internal/serve"
 	"repro/internal/sparse"
 )
+
+// testLogger routes slog output through t.Logf so failures carry the
+// gateway's structured log lines.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
 
 // genMTX serializes a synthetic power-law matrix as a MatrixMarket
 // body, the shape an uploading client would send.
@@ -59,7 +73,7 @@ func startCluster(t *testing.T, k int, mut func(*Config)) (*Embedded, *Gateway, 
 		RetryBase:        10 * time.Millisecond,
 		RetryMax:         50 * time.Millisecond,
 		HedgeDelay:       -1, // deterministic routing; hedging has its own test
-		Logf:             t.Logf,
+		Logger:           testLogger(t),
 	}
 	if mut != nil {
 		mut(&cfg)
@@ -304,7 +318,7 @@ func newFakeGateway(t *testing.T, mut func(*Config), fakes ...*fakeBackend) (*Ga
 		RetryBase:        time.Millisecond,
 		RetryMax:         5 * time.Millisecond,
 		HedgeDelay:       -1,
-		Logf:             t.Logf,
+		Logger:           testLogger(t),
 	}
 	if mut != nil {
 		mut(&cfg)

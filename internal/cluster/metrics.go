@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // upstreamBuckets are the upper bounds (seconds) of the per-backend
@@ -15,31 +17,14 @@ import (
 // cache hits (~ms over loopback) to full estimation runs (seconds).
 var upstreamBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 
-type histogram struct {
-	counts []uint64 // one per bucket, plus +Inf at the end
-	sum    float64
-	total  uint64
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]uint64, len(upstreamBuckets)+1)}
-}
-
-func (h *histogram) observe(v float64) {
-	i := sort.SearchFloat64s(upstreamBuckets, v)
-	h.counts[i]++
-	h.sum += v
-	h.total++
-}
-
 // Metrics is the gateway's observability surface, exposed at /metrics
 // in the Prometheus text exposition format using only the standard
 // library — the same style as internal/serve. Labels are backend URLs
 // and status codes, both bounded by cluster size.
 type Metrics struct {
 	mu        sync.Mutex
-	upstream  map[string]uint64     // key: backend + "\x00" + code ("err" for transport failures)
-	latencies map[string]*histogram // key: backend
+	upstream  map[string]uint64         // key: backend + "\x00" + code ("err" for transport failures)
+	latencies map[string]*obs.Histogram // key: backend
 	retries   uint64
 	hedges    uint64
 	coalesced uint64
@@ -55,7 +40,7 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		upstream:  make(map[string]uint64),
-		latencies: make(map[string]*histogram),
+		latencies: make(map[string]*obs.Histogram),
 		probes:    make(map[string]uint64),
 		started:   time.Now(),
 	}
@@ -74,10 +59,10 @@ func (m *Metrics) Upstream(backend string, code int, elapsed time.Duration) {
 	m.upstream[backend+"\x00"+label]++
 	h, ok := m.latencies[backend]
 	if !ok {
-		h = newHistogram()
+		h = obs.NewHistogram(upstreamBuckets)
 		m.latencies[backend] = h
 	}
-	h.observe(elapsed.Seconds())
+	h.Observe(elapsed.Seconds())
 }
 
 // Retry records one retry round (an attempt after the first).
@@ -181,22 +166,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		return n, err
 	}
 	for _, backend := range sortedKeys(m.latencies) {
-		h := m.latencies[backend]
-		var cum uint64
-		for i, ub := range upstreamBuckets {
-			cum += h.counts[i]
-			if err := p("hetgate_upstream_duration_seconds_bucket{backend=%q,le=%q} %d\n", backend, strconv.FormatFloat(ub, 'g', -1, 64), cum); err != nil {
-				return n, err
-			}
-		}
-		cum += h.counts[len(upstreamBuckets)]
-		if err := p("hetgate_upstream_duration_seconds_bucket{backend=%q,le=\"+Inf\"} %d\n", backend, cum); err != nil {
-			return n, err
-		}
-		if err := p("hetgate_upstream_duration_seconds_sum{backend=%q} %g\n", backend, h.sum); err != nil {
-			return n, err
-		}
-		if err := p("hetgate_upstream_duration_seconds_count{backend=%q} %d\n", backend, h.total); err != nil {
+		c, err := m.latencies[backend].WriteProm(w, "hetgate_upstream_duration_seconds", fmt.Sprintf("backend=%q", backend))
+		n += c
+		if err != nil {
 			return n, err
 		}
 	}

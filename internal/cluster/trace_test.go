@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// syntheticTraceparent is the W3C trace-context example header; the
+// test asserts every span on both sides of the gateway joins this
+// trace.
+const syntheticTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+// spansForTrace polls sink until at least want spans of trace have
+// been recorded (span Finish runs after the response is written, so
+// the client can observe the answer before the spans land).
+func spansForTrace(t *testing.T, sink *obs.Sink, trace string, want int) map[string]obs.SpanRecord {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out := make(map[string]obs.SpanRecord)
+		for _, sp := range sink.Spans() {
+			if sp.TraceID == trace {
+				out[sp.Name] = sp
+			}
+		}
+		if len(out) >= want || time.Now().After(deadline) {
+			if len(out) < want {
+				t.Fatalf("trace %s: got %d spans %v, want %d", trace, len(out), out, want)
+			}
+			return out
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTracePropagatesAcrossCluster is the subsystem's acceptance test:
+// one request through a 3-backend gateway yields a single trace whose
+// spans cover the gateway hop, the backend's server handling, cache and
+// pool waits, and every pipeline stage — all stitched by parent IDs.
+func TestTracePropagatesAcrossCluster(t *testing.T) {
+	e, g, ts := startCluster(t, 3, nil)
+
+	req, err := http.NewRequest(http.MethodGet,
+		ts.URL+"/estimate?workload=spmm&dataset=cant&seed=3&repeats=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.TraceparentHeader, syntheticTraceparent)
+	req.Header.Set(obs.RequestIDHeader, "trace-test-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "trace-test-1" {
+		t.Errorf("request ID %q, want the client's echoed back", got)
+	}
+	backend := resp.Header.Get("X-Hetgate-Backend")
+	if backend == "" {
+		t.Fatal("no X-Hetgate-Backend header")
+	}
+
+	const trace = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+	// Gateway side: server span continuing the synthetic parent, the
+	// singleflight forward span under it, the upstream HTTP call below.
+	gw := spansForTrace(t, g.Sink(), trace, 3)
+	server, ok := gw["http.estimate"]
+	if !ok {
+		t.Fatalf("gateway spans %v: no http.estimate", gw)
+	}
+	if server.ParentID != "00f067aa0ba902b7" {
+		t.Errorf("gateway server span parent %s, want the synthetic remote span", server.ParentID)
+	}
+	if server.Attrs["request_id"] != "trace-test-1" {
+		t.Errorf("gateway span request_id = %q", server.Attrs["request_id"])
+	}
+	forward, ok := gw["forward"]
+	if !ok || forward.ParentID != server.SpanID {
+		t.Errorf("forward span %+v, want child of server span %s", forward, server.SpanID)
+	}
+	upstream, ok := gw["upstream"]
+	if !ok || upstream.ParentID != forward.SpanID {
+		t.Errorf("upstream span %+v, want child of forward span %s", upstream, forward.SpanID)
+	}
+	if upstream.Attrs["backend"] != backend {
+		t.Errorf("upstream span backend %q, response came from %q", upstream.Attrs["backend"], backend)
+	}
+
+	// Backend side: the serving replica's spans join the same trace,
+	// with the gateway's upstream span as the remote parent and the
+	// pipeline stages nested under the pipeline span.
+	var sink *obs.Sink
+	for i, u := range e.URLs() {
+		if u == backend {
+			sink = e.Server(i).Sink()
+		}
+	}
+	if sink == nil {
+		t.Fatalf("backend %s not among %v", backend, e.URLs())
+	}
+	be := spansForTrace(t, sink, trace, 6)
+	beServer, ok := be["http.estimate"]
+	if !ok {
+		t.Fatalf("backend spans %v: no http.estimate", be)
+	}
+	if beServer.ParentID != upstream.SpanID {
+		t.Errorf("backend server span parent %s, want gateway upstream span %s", beServer.ParentID, upstream.SpanID)
+	}
+	if beServer.Attrs["request_id"] != "trace-test-1" {
+		t.Errorf("backend span request_id = %q, want the propagated one", beServer.Attrs["request_id"])
+	}
+	if _, ok := be["cache.lookup"]; !ok {
+		t.Error("no cache.lookup span on the backend")
+	}
+	pipeline, ok := be["pipeline"]
+	if !ok {
+		t.Fatalf("backend spans %v: no pipeline span", be)
+	}
+	for _, stage := range []string{"sample", "identify", "extrapolate"} {
+		sp, ok := be[stage]
+		if !ok {
+			t.Errorf("no %s stage span on the backend", stage)
+			continue
+		}
+		if sp.ParentID != pipeline.SpanID {
+			t.Errorf("%s span parent %s, want pipeline span %s", stage, sp.ParentID, pipeline.SpanID)
+		}
+	}
+
+	// The stage profile derived from those spans reaches /metrics on
+	// both sides of the hop.
+	for url, want := range map[string]string{
+		ts.URL:  "hetgate_stage_seconds_bucket{stage=\"forward\"",
+		backend: "hetserve_stage_seconds_bucket{stage=\"pipeline\"",
+	} {
+		resp, err := http.Get(url + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("%s/metrics missing %q", url, want)
+		}
+	}
+}
+
+// TestTraceStartsFreshWithoutHeader: a request with no traceparent
+// starts its own trace at the gateway, and the backend still joins it.
+func TestTraceStartsFreshWithoutHeader(t *testing.T) {
+	e, g, ts := startCluster(t, 3, nil)
+
+	resp, err := http.Get(ts.URL + "/estimate?workload=spmm&dataset=cant&seed=4&repeats=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	backend := resp.Header.Get("X-Hetgate-Backend")
+	reqID := resp.Header.Get(obs.RequestIDHeader)
+	if len(reqID) != 16 {
+		t.Errorf("generated request ID %q, want 16 hex digits", reqID)
+	}
+
+	// Find the gateway's fresh trace via its server span, then check the
+	// serving backend recorded spans under the same trace ID.
+	deadline := time.Now().Add(5 * time.Second)
+	var trace string
+	for trace == "" && time.Now().Before(deadline) {
+		for _, sp := range g.Sink().Spans() {
+			if sp.Name == "http.estimate" && sp.Attrs["request_id"] == reqID {
+				if sp.ParentID != "" {
+					t.Errorf("fresh trace's server span has parent %s", sp.ParentID)
+				}
+				trace = sp.TraceID
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if trace == "" {
+		t.Fatal("gateway never recorded the server span")
+	}
+	for i, u := range e.URLs() {
+		if u == backend {
+			spansForTrace(t, e.Server(i).Sink(), trace, 6)
+		}
+	}
+}

@@ -50,8 +50,11 @@ type Sampled interface {
 	Workload
 	// Sample builds the miniature instance using the provided
 	// generator and returns a Workload over the sample along with
-	// the simulated cost of constructing the sample.
-	Sample(r *xrand.Rand) (Workload, time.Duration, error)
+	// the simulated cost of constructing the sample. The context
+	// carries observability state (internal/obs): implementations may
+	// open child spans under the framework's "sample" stage span to
+	// expose workload-specific sampling phases.
+	Sample(ctx context.Context, r *xrand.Rand) (Workload, time.Duration, error)
 	// Extrapolate maps the best threshold found on the sample to a
 	// threshold for the full input.
 	Extrapolate(tSample float64) float64

@@ -40,7 +40,7 @@ type sampledV struct {
 	sampleErr   error
 }
 
-func (w *sampledV) Sample(r *xrand.Rand) (Workload, time.Duration, error) {
+func (w *sampledV) Sample(ctx context.Context, r *xrand.Rand) (Workload, time.Duration, error) {
 	if w.sampleErr != nil {
 		return nil, 0, w.sampleErr
 	}

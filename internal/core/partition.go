@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/xrand"
 )
 
@@ -67,33 +69,48 @@ func (e *Estimate) Overhead() time.Duration { return e.SampleCost + e.IdentifyCo
 // with its overhead accounting. The context bounds the whole pipeline:
 // cancellation is observed between samples and between threshold
 // evaluations inside the Identify search.
-func EstimateThreshold(ctx context.Context, w Sampled, cfg Config) (*Estimate, error) {
+//
+// When the context carries observability state (internal/obs), the
+// pipeline records one span per stage — "sample" and "identify" per
+// repeat, "extrapolate" once — under a parent "pipeline" span, so the
+// serving stack's traces show where each estimate's time goes.
+func EstimateThreshold(ctx context.Context, w Sampled, cfg Config) (est *Estimate, err error) {
 	c := cfg.withDefaults()
+	ctx, pspan := obs.StartSpan(ctx, "pipeline")
+	pspan.SetAttr("workload", w.Name())
+	pspan.SetAttr("searcher", c.Searcher.Name())
+	pspan.SetAttr("repeats", strconv.Itoa(c.Repeats))
+	defer func() {
+		pspan.RecordError(err)
+		pspan.Finish()
+	}()
+
 	fullLo, fullHi := rangeOf(w, c)
 	if fullLo >= fullHi {
 		return nil, fmt.Errorf("core: threshold range [%g, %g] is empty", fullLo, fullHi)
 	}
 	r := xrand.New(c.Seed)
-	est := &Estimate{Repeats: c.Repeats}
+	est = &Estimate{Repeats: c.Repeats}
 	sampleBests := make([]float64, 0, c.Repeats)
 	for rep := 0; rep < c.Repeats; rep++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		sw, sampleCost, err := w.Sample(r.Split())
+		sw, sampleCost, err := sampleStage(ctx, w, r, rep)
 		if err != nil {
-			return nil, fmt.Errorf("core: sampling %s: %w", w.Name(), err)
+			return nil, err
 		}
 		est.SampleCost += sampleCost
 		lo, hi := rangeOf(sw, c)
-		res, err := c.Searcher.Search(ctx, sw, lo, hi)
+		res, err := identifyStage(ctx, c.Searcher, w, sw, lo, hi, rep)
 		if err != nil {
-			return nil, fmt.Errorf("core: identify on %s sample: %w", w.Name(), err)
+			return nil, err
 		}
 		est.IdentifyCost += res.Cost
 		est.Evals += res.Evals
 		sampleBests = append(sampleBests, res.Best)
 	}
+	_, espan := obs.StartSpan(ctx, "extrapolate")
 	est.SampleThreshold = median(sampleBests)
 	est.Threshold = w.Extrapolate(est.SampleThreshold)
 	if est.Threshold < fullLo {
@@ -102,7 +119,42 @@ func EstimateThreshold(ctx context.Context, w Sampled, cfg Config) (*Estimate, e
 	if est.Threshold > fullHi {
 		est.Threshold = fullHi
 	}
+	espan.SetAttr("sample_threshold", fmt.Sprintf("%.3f", est.SampleThreshold))
+	espan.SetAttr("threshold", fmt.Sprintf("%.3f", est.Threshold))
+	espan.Finish()
 	return est, nil
+}
+
+// sampleStage runs one Sample step under its stage span.
+func sampleStage(ctx context.Context, w Sampled, r *xrand.Rand, rep int) (Workload, time.Duration, error) {
+	sctx, span := obs.StartSpan(ctx, "sample")
+	span.SetAttr("repeat", strconv.Itoa(rep))
+	defer span.Finish()
+	sw, cost, err := w.Sample(sctx, r.Split())
+	if err != nil {
+		err = fmt.Errorf("core: sampling %s: %w", w.Name(), err)
+		span.RecordError(err)
+		return nil, 0, err
+	}
+	span.SetAttr("simulated_cost", cost.String())
+	return sw, cost, nil
+}
+
+// identifyStage runs one Identify search under its stage span.
+func identifyStage(ctx context.Context, s Searcher, w Sampled, sw Workload, lo, hi float64, rep int) (SearchResult, error) {
+	ictx, span := obs.StartSpan(ctx, "identify")
+	span.SetAttr("repeat", strconv.Itoa(rep))
+	defer span.Finish()
+	res, err := s.Search(ictx, sw, lo, hi)
+	if err != nil {
+		err = fmt.Errorf("core: identify on %s sample: %w", w.Name(), err)
+		span.RecordError(err)
+		return SearchResult{}, err
+	}
+	span.SetAttr("evals", strconv.Itoa(res.Evals))
+	span.SetAttr("best", fmt.Sprintf("%.3f", res.Best))
+	span.SetAttr("simulated_cost", res.Cost.String())
+	return res, nil
 }
 
 // rangeOf returns a workload's threshold range: its own if it

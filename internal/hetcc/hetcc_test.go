@@ -193,7 +193,7 @@ func TestWorkloadSampleEvaluate(t *testing.T) {
 	alg := NewAlgorithm(hetsim.Default())
 	w := NewWorkload("gnm", g, alg)
 	r := xrand.New(1)
-	sw, cost, err := w.Sample(r)
+	sw, cost, err := w.Sample(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestWorkloadCustomSampleSize(t *testing.T) {
 	alg := NewAlgorithm(hetsim.Default())
 	w := NewWorkload("gnm", g, alg)
 	w.SampleSize = 200
-	sw, _, err := w.Sample(xrand.New(2))
+	sw, _, err := w.Sample(context.Background(), xrand.New(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +294,7 @@ func TestImportanceSamplerVariant(t *testing.T) {
 	alg := NewAlgorithm(hetsim.Default())
 	w := NewWorkload("rmat", g, alg)
 	w.Importance = true
-	sw, cost, err := w.Sample(xrand.New(3))
+	sw, cost, err := w.Sample(context.Background(), xrand.New(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +309,7 @@ func TestImportanceSamplerVariant(t *testing.T) {
 	// the keep-thinning is factored out) exceeds the uniform
 	// contraction's.
 	uni := NewWorkload("rmat", g, alg)
-	usw, _, err := uni.Sample(xrand.New(3))
+	usw, _, err := uni.Sample(context.Background(), xrand.New(3))
 	if err != nil {
 		t.Fatal(err)
 	}

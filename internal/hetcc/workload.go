@@ -1,12 +1,15 @@
 package hetcc
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/hetsim"
+	"repro/internal/obs"
 	"repro/internal/xrand"
 )
 
@@ -67,11 +70,15 @@ func (w *Workload) Evaluate(t float64) (time.Duration, error) {
 // the chosen vertices' adjacency lists with binary-search remapping).
 // Set Induced to use the plain induced subgraph instead (the ablation
 // of the sampler choice).
-func (w *Workload) Sample(r *xrand.Rand) (core.Workload, time.Duration, error) {
+func (w *Workload) Sample(ctx context.Context, r *xrand.Rand) (core.Workload, time.Duration, error) {
+	_, span := obs.StartSpan(ctx, "sample.cc")
+	defer span.Finish()
 	k := w.SampleSize
 	if k <= 0 {
 		k = DefaultSampleSize(w.g.N)
 	}
+	span.SetAttr("vertices", strconv.Itoa(w.g.N))
+	span.SetAttr("sample_vertices", strconv.Itoa(k))
 	var sub *graph.Graph
 	var ids []int
 	var err error
@@ -84,8 +91,11 @@ func (w *Workload) Sample(r *xrand.Rand) (core.Workload, time.Duration, error) {
 		sub, ids, err = w.g.ContractedSample(r, k, w.keep())
 	}
 	if err != nil {
-		return nil, 0, fmt.Errorf("hetcc: sampling %s: %w", w.name, err)
+		err = fmt.Errorf("hetcc: sampling %s: %w", w.name, err)
+		span.RecordError(err)
+		return nil, 0, err
 	}
+	span.SetAttr("sample_edges", strconv.Itoa(sub.M()))
 	var scanned int64
 	for _, v := range ids {
 		scanned += int64(w.g.Degree(v))

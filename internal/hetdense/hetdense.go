@@ -11,11 +11,13 @@
 package hetdense
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/hetsim"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 	"repro/internal/xrand"
 )
@@ -158,7 +160,9 @@ func (w *Workload) Evaluate(t float64) (time.Duration, error) {
 // Sample implements core.Sampled: a dense matrix is perfectly regular,
 // so the miniature is simply an n/4 × n/4 instance (any submatrix has
 // the same uniform structure). The cost charges the submatrix copy.
-func (w *Workload) Sample(r *xrand.Rand) (core.Workload, time.Duration, error) {
+func (w *Workload) Sample(ctx context.Context, r *xrand.Rand) (core.Workload, time.Duration, error) {
+	_, span := obs.StartSpan(ctx, "sample.dense")
+	defer span.Finish()
 	sn := w.n / 4
 	if sn < 1 {
 		sn = 1

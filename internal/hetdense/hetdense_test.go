@@ -101,7 +101,7 @@ func TestSampleQuartersDimension(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, cost, err := w.Sample(xrand.New(4))
+	sw, cost, err := w.Sample(context.Background(), xrand.New(4))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -205,7 +205,7 @@ func TestSampleScalesDegrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, cost, err := w.Sample(xrand.New(2))
+	sw, cost, err := w.Sample(context.Background(), xrand.New(2))
 	if err != nil {
 		t.Fatal(err)
 	}

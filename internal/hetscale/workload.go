@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/hetsim"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 	"repro/internal/xrand"
 )
@@ -73,14 +75,21 @@ func (w *Workload) exponent() float64 {
 // Sample implements core.Sampled with the paper's Section V sampler:
 // √n rows drawn uniformly, each thinned to ≈ d^exponent entries with
 // column indices transformed into the sample's index space.
-func (w *Workload) Sample(r *xrand.Rand) (core.Workload, time.Duration, error) {
+func (w *Workload) Sample(ctx context.Context, r *xrand.Rand) (core.Workload, time.Duration, error) {
+	_, span := obs.StartSpan(ctx, "sample.scalefree")
+	defer span.Finish()
+	span.SetAttr("rows", strconv.Itoa(w.prof.a.Rows))
 	sub, err := sparse.ScaleFreeRowSample(r, w.prof.a, sparse.ScaleFreeSampleConfig{
 		SampleRows:     w.SampleRows,
 		DegreeExponent: w.exponent(),
 	})
 	if err != nil {
-		return nil, 0, fmt.Errorf("hetscale: sampling %s: %w", w.name, err)
+		err = fmt.Errorf("hetscale: sampling %s: %w", w.name, err)
+		span.RecordError(err)
+		return nil, 0, err
 	}
+	span.SetAttr("sample_rows", strconv.Itoa(sub.Rows))
+	span.SetAttr("sample_nnz", strconv.Itoa(sub.NNZ()))
 	inner, err := NewWorkload(w.name+"-sample", sub, w.alg)
 	if err != nil {
 		return nil, 0, err
@@ -135,7 +144,7 @@ func FitExtrapolation(ws []*Workload, seed uint64) (c, p float64, err error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		sw, _, err := w.Sample(r.Split())
+		sw, _, err := w.Sample(context.Background(), r.Split())
 		if err != nil {
 			return 0, 0, err
 		}

@@ -213,7 +213,7 @@ func TestSampleShapeAndCost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, cost, err := w.Sample(xrand.New(2))
+	sw, cost, err := w.Sample(context.Background(), xrand.New(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +245,7 @@ func TestSampleCustomDivisor(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.SampleDivisor = 10
-	sw, _, err := w.Sample(xrand.New(3))
+	sw, _, err := w.Sample(context.Background(), xrand.New(3))
 	if err != nil {
 		t.Fatal(err)
 	}

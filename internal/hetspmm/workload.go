@@ -1,11 +1,14 @@
 package hetspmm
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/hetsim"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 	"repro/internal/xrand"
 )
@@ -65,7 +68,9 @@ func (w *Workload) Evaluate(r float64) (time.Duration, error) {
 // sparsity structure of A in expectation. The cost charges the CPU
 // for extracting and compacting the submatrix, and the host for the
 // profile pass over A' (the load vector of the sample).
-func (w *Workload) Sample(r *xrand.Rand) (core.Workload, time.Duration, error) {
+func (w *Workload) Sample(ctx context.Context, r *xrand.Rand) (core.Workload, time.Duration, error) {
+	_, span := obs.StartSpan(ctx, "sample.spmm")
+	defer span.Finish()
 	k := w.SampleDivisor
 	if k <= 0 {
 		k = DefaultSampleDivisor
@@ -75,10 +80,15 @@ func (w *Workload) Sample(r *xrand.Rand) (core.Workload, time.Duration, error) {
 	if size < 1 {
 		size = 1
 	}
+	span.SetAttr("rows", strconv.Itoa(n))
+	span.SetAttr("sample_rows", strconv.Itoa(size))
 	sub, err := sparse.UniformSubmatrix(r, w.prof.a, size, size)
 	if err != nil {
-		return nil, 0, fmt.Errorf("hetspmm: sampling %s: %w", w.name, err)
+		err = fmt.Errorf("hetspmm: sampling %s: %w", w.name, err)
+		span.RecordError(err)
+		return nil, 0, err
 	}
+	span.SetAttr("sample_nnz", strconv.Itoa(sub.NNZ()))
 	inner, err := NewWorkload(w.name+"-sample", sub, w.alg)
 	if err != nil {
 		return nil, 0, err

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// HTTPOptions configures the per-route Handler middleware.
+type HTTPOptions struct {
+	// Service is stamped on spans and log records ("hetserve",
+	// "hetgate").
+	Service string
+	// Sink receives the server spans; nil disables tracing.
+	Sink *Sink
+	// Logger receives one structured line per request; nil disables
+	// request logging.
+	Logger *slog.Logger
+}
+
+// statusWriter captures the status code a handler writes.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Handler wraps next with request-scoped observability for one route:
+//
+//   - X-Request-ID: honored when the client supplies a well-formed
+//     one, generated otherwise; echoed on the response and carried in
+//     the context for error bodies and log records.
+//   - Tracing: an incoming traceparent header continues the caller's
+//     trace; otherwise a fresh trace starts here. The server span is
+//     named route and records method, path, status and request ID.
+//   - Logging: one slog line per request with status and duration.
+//
+// route must be a static label ("http.estimate"), never the raw URL
+// path — span names key the stage histograms, which must stay bounded.
+func Handler(o HTTPOptions, route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+
+		reqID := sanitizeRequestID(r.Header.Get(RequestIDHeader))
+		if reqID == "" {
+			reqID = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, reqID)
+		ctx = WithRequestID(ctx, reqID)
+
+		sc := Scope{Service: o.Service, Sink: o.Sink}
+		if trace, parent, err := ParseTraceparent(r.Header.Get(TraceparentHeader)); err == nil {
+			sc.RemoteTrace, sc.RemoteParent = trace, parent
+		}
+		ctx = WithScope(ctx, sc)
+		ctx, span := StartSpan(ctx, route)
+		span.SetAttr("method", r.Method)
+		span.SetAttr("path", r.URL.Path)
+		span.SetAttr("request_id", reqID)
+
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+
+		span.SetAttr("status", strconv.Itoa(sw.code))
+		span.Finish()
+		if o.Logger != nil {
+			level := slog.LevelInfo
+			if sw.code >= 500 {
+				level = slog.LevelError
+			}
+			o.Logger.LogAttrs(ctx, level, "request",
+				slog.String("route", route),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.code),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("elapsed", elapsed),
+			)
+		}
+	})
+}
+
+// NewRequestID returns a fresh request correlation ID (16 hex digits).
+func NewRequestID() string {
+	return SpanID(newID8()).String()
+}
+
+func newID8() [8]byte {
+	var b [8]byte
+	randomBytes(b[:])
+	return b
+}
+
+// sanitizeRequestID accepts a client-supplied request ID only when it
+// is short and shell/log-safe; anything else is discarded so a hostile
+// header cannot smuggle bytes into logs and error bodies.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// RegisterPprof wires net/http/pprof's handlers into mux under
+// /debug/pprof/. Callers gate this behind an opt-in flag: profiling
+// endpoints expose heap contents and must not ship enabled by default.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

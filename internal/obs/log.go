@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// ContextHandler is a slog.Handler middleware that stamps every record
+// with the trace_id/span_id of the context's current span and the
+// context's request_id, so one grep over the logs follows one request.
+type ContextHandler struct {
+	slog.Handler
+}
+
+// Handle implements slog.Handler.
+func (h ContextHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sp := SpanFromContext(ctx); sp != nil {
+		rec.AddAttrs(
+			slog.String("trace_id", sp.TraceID.String()),
+			slog.String("span_id", sp.SpanID.String()),
+		)
+	}
+	if id := RequestID(ctx); id != "" {
+		rec.AddAttrs(slog.String("request_id", id))
+	}
+	return h.Handler.Handle(ctx, rec)
+}
+
+// WithAttrs implements slog.Handler, preserving the context wrapper.
+func (h ContextHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ContextHandler{h.Handler.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler, preserving the context wrapper.
+func (h ContextHandler) WithGroup(name string) slog.Handler {
+	return ContextHandler{h.Handler.WithGroup(name)}
+}
+
+// NewLogger builds the service's structured logger: slog text (or
+// JSON) output to w, every record tagged service=<service> plus
+// trace/request IDs drawn from the context via ContextHandler.
+func NewLogger(w io.Writer, service string, level slog.Level, jsonFormat bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	l := slog.New(ContextHandler{h})
+	if service != "" {
+		l = l.With(slog.String("service", service))
+	}
+	return l
+}
+
+// nopHandler drops everything before formatting.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// NopLogger returns a logger that discards every record without
+// formatting it — the nil-config default for servers built without a
+// logger.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }

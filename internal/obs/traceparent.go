@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Header names used for cross-service propagation.
+const (
+	// TraceparentHeader carries trace identity in the W3C
+	// trace-context format: "00-<32 hex trace>-<16 hex span>-<2 hex flags>".
+	TraceparentHeader = "traceparent"
+	// RequestIDHeader carries the request correlation ID; honored on
+	// ingress and echoed on every response.
+	RequestIDHeader = "X-Request-ID"
+)
+
+// FormatTraceparent renders the version-00 traceparent header value
+// for the given trace/span pair (sampled flag always set — this repo
+// traces every request into a bounded ring).
+func FormatTraceparent(trace TraceID, span SpanID) string {
+	return fmt.Sprintf("00-%s-%s-01", trace, span)
+}
+
+// ParseTraceparent parses a version-00 traceparent header value. It
+// rejects malformed fields and all-zero IDs, per the spec.
+func ParseTraceparent(v string) (TraceID, SpanID, error) {
+	var trace TraceID
+	var span SpanID
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) != 4 {
+		return trace, span, fmt.Errorf("obs: traceparent %q: want 4 dash-separated fields, got %d", v, len(parts))
+	}
+	if len(parts[0]) != 2 || parts[0] == "ff" {
+		return trace, span, fmt.Errorf("obs: traceparent %q: bad version %q", v, parts[0])
+	}
+	if len(parts[1]) != 32 {
+		return trace, span, fmt.Errorf("obs: traceparent %q: trace-id must be 32 hex digits", v)
+	}
+	if _, err := hex.Decode(trace[:], []byte(parts[1])); err != nil {
+		return trace, span, fmt.Errorf("obs: traceparent %q: trace-id: %v", v, err)
+	}
+	if len(parts[2]) != 16 {
+		return trace, span, fmt.Errorf("obs: traceparent %q: parent-id must be 16 hex digits", v)
+	}
+	if _, err := hex.Decode(span[:], []byte(parts[2])); err != nil {
+		return trace, span, fmt.Errorf("obs: traceparent %q: parent-id: %v", v, err)
+	}
+	if len(parts[3]) != 2 {
+		return trace, span, fmt.Errorf("obs: traceparent %q: bad flags %q", v, parts[3])
+	}
+	if !trace.IsValid() {
+		return trace, span, fmt.Errorf("obs: traceparent %q: all-zero trace-id", v)
+	}
+	if !span.IsValid() {
+		return trace, span, fmt.Errorf("obs: traceparent %q: all-zero parent-id", v)
+	}
+	return trace, span, nil
+}
+
+// Inject writes the context's trace identity (traceparent, from the
+// current span) and request ID into h, so an outbound HTTP call
+// continues the caller's trace on the next service.
+func Inject(ctx context.Context, h http.Header) {
+	if sp := SpanFromContext(ctx); sp != nil {
+		h.Set(TraceparentHeader, FormatTraceparent(sp.TraceID, sp.SpanID))
+	}
+	if id := RequestID(ctx); id != "" {
+		h.Set(RequestIDHeader, id)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/hetsim"
 	"repro/internal/mmio"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -79,8 +81,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		} else {
 			code = statusFor(err)
 		}
-		s.cfg.Logf("hetserve: %s %s: %v (HTTP %d)", r.Method, r.URL.Path, err, code)
-		writeJSON(w, code, map[string]string{"error": err.Error()})
+		s.logger.ErrorContext(r.Context(), "estimate failed",
+			slog.String("method", r.Method),
+			slog.String("workload", workload),
+			slog.Int("status", code),
+			slog.Any("err", err))
+		writeJSON(w, code, errorBody(r.Context(), err))
 		done(code, time.Since(start))
 		return
 	}
@@ -156,7 +162,11 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 		key, workload, searcher.Name(),
 		strconv.FormatUint(seed, 10), strconv.Itoa(repeats),
 	}, "|")
-	if v, ok := s.cache.Get(cacheKey); ok {
+	_, cspan := obs.StartSpan(r.Context(), "cache.lookup")
+	v, hit := s.cache.Get(cacheKey)
+	cspan.SetAttr("hit", strconv.FormatBool(hit))
+	cspan.Finish()
+	if hit {
 		s.metrics.CacheHit()
 		resp := v.(EstimateResponse) // copy; Cached/WallMS are per-request
 		resp.Cached = true
@@ -188,6 +198,9 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 	if !leader {
 		s.metrics.Coalesced()
 		resp.Coalesced = true
+		// The pipeline spans live in the leader's trace; mark the
+		// follower's server span so the coalescing is visible there too.
+		obs.SpanFromContext(r.Context()).SetAttr("coalesced", "true")
 	}
 	return &resp, nil
 }
@@ -198,34 +211,18 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 func (s *Server) runPipeline(ctx context.Context, cacheKey, workload, input string, body []byte, searcher core.Searcher, seed uint64, repeats int) (*EstimateResponse, error) {
 	// The pool bounds concurrent pipeline runs; waiters respect the
 	// request deadline, so a client that gives up never holds a slot.
-	if err := s.pool.Acquire(ctx); err != nil {
+	_, pspan := obs.StartSpan(ctx, "pool.wait")
+	err := s.pool.Acquire(ctx)
+	pspan.RecordError(err)
+	pspan.Finish()
+	if err != nil {
 		return nil, fmt.Errorf("waiting for worker: %w", err)
 	}
 	defer s.pool.Release()
 
-	var cw core.Sampled
-	var err error
-	if body != nil {
-		coo, err := mmio.ReadLimited(bytes.NewReader(body), s.cfg.MaxUploadBytes)
-		if err != nil {
-			if errors.Is(err, mmio.ErrTooLarge) {
-				return nil, &httpError{code: http.StatusRequestEntityTooLarge, err: err}
-			}
-			return nil, badRequest("parsing upload: %v", err)
-		}
-		m, err := sparse.FromCOO(coo)
-		if err != nil {
-			return nil, badRequest("building matrix: %v", err)
-		}
-		cw, err = buildFromMatrix(s.platform, workload, input, m)
-		if err != nil {
-			return nil, badRequest("%v", err)
-		}
-	} else {
-		cw, err = buildFromDataset(s.platform, workload, input)
-		if err != nil {
-			return nil, badRequest("%v", err)
-		}
+	cw, err := s.buildWorkload(ctx, workload, input, body)
+	if err != nil {
+		return nil, err
 	}
 
 	est, err := core.EstimateThreshold(ctx, cw, core.Config{
@@ -236,18 +233,29 @@ func (s *Server) runPipeline(ctx context.Context, cacheKey, workload, input stri
 	if err != nil {
 		return nil, fmt.Errorf("estimating %s: %w", cw.Name(), err)
 	}
+	_, espan := obs.StartSpan(ctx, "evaluate")
 	runTime, err := cw.Evaluate(est.Threshold)
 	if err != nil {
-		return nil, fmt.Errorf("evaluating %s at %.2f: %w", cw.Name(), est.Threshold, err)
+		err = fmt.Errorf("evaluating %s at %.2f: %w", cw.Name(), est.Threshold, err)
+		espan.RecordError(err)
+		espan.Finish()
+		return nil, err
 	}
+	espan.SetAttr("threshold", fmt.Sprintf("%.2f", est.Threshold))
+	espan.SetAttr("simulated_run", runTime.String())
+	espan.Finish()
 
 	if s.cfg.Verbose {
 		var tr hetsim.Trace
 		tr.Add(hetsim.PhaseSample, "host", est.SampleCost)
 		tr.Add(hetsim.PhaseIdentify, "host", est.IdentifyCost)
 		tr.Add(hetsim.PhaseCompute, "het", runTime)
-		s.cfg.Logf("hetserve: %s threshold=%.2f (%d evals, %d samples)\n%s",
-			cw.Name(), est.Threshold, est.Evals, est.Repeats, &tr)
+		s.logger.InfoContext(ctx, "estimated",
+			slog.String("workload", cw.Name()),
+			slog.Float64("threshold", est.Threshold),
+			slog.Int("evals", est.Evals),
+			slog.Int("samples", est.Repeats),
+			slog.String("trace", tr.String()))
 	}
 
 	overhead := est.Overhead()
@@ -272,6 +280,54 @@ func (s *Server) runPipeline(ctx context.Context, cacheKey, workload, input stri
 	}
 	s.cache.Put(cacheKey, resp)
 	return &resp, nil
+}
+
+// buildWorkload constructs the estimation workload from an uploaded
+// MatrixMarket body or a named dataset, under a "workload.build" span
+// (parsing + profiling a large upload is real time a whole-request
+// histogram hides).
+func (s *Server) buildWorkload(ctx context.Context, workload, input string, body []byte) (core.Sampled, error) {
+	_, span := obs.StartSpan(ctx, "workload.build")
+	defer span.Finish()
+	span.SetAttr("workload", workload)
+	span.SetAttr("input", input)
+	fail := func(err error) (core.Sampled, error) {
+		span.RecordError(err)
+		return nil, err
+	}
+	if body != nil {
+		coo, err := mmio.ReadLimited(bytes.NewReader(body), s.cfg.MaxUploadBytes)
+		if err != nil {
+			if errors.Is(err, mmio.ErrTooLarge) {
+				return fail(&httpError{code: http.StatusRequestEntityTooLarge, err: err})
+			}
+			return fail(badRequest("parsing upload: %v", err))
+		}
+		m, err := sparse.FromCOO(coo)
+		if err != nil {
+			return fail(badRequest("building matrix: %v", err))
+		}
+		cw, err := buildFromMatrix(s.platform, workload, input, m)
+		if err != nil {
+			return fail(badRequest("%v", err))
+		}
+		return cw, nil
+	}
+	cw, err := buildFromDataset(s.platform, workload, input)
+	if err != nil {
+		return fail(badRequest("%v", err))
+	}
+	return cw, nil
+}
+
+// errorBody renders the JSON error payload, echoing the request's
+// correlation ID so a client can quote it when reporting a failure.
+func errorBody(ctx context.Context, err error) map[string]string {
+	body := map[string]string{"error": err.Error()}
+	if id := obs.RequestID(ctx); id != "" {
+		body["request_id"] = id
+	}
+	return body
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {

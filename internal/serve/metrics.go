@@ -9,30 +9,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the request latency
 // histogram, chosen to straddle both cache hits (~µs) and full
 // estimation runs on Table II replicas (~ms to seconds).
 var latencyBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
-
-// histogram is a fixed-bucket cumulative histogram.
-type histogram struct {
-	counts []uint64 // one per bucket, plus +Inf at the end
-	sum    float64
-	total  uint64
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
-}
-
-func (h *histogram) observe(v float64) {
-	i := sort.SearchFloat64s(latencyBuckets, v)
-	h.counts[i]++
-	h.sum += v
-	h.total++
-}
 
 // Metrics is the daemon's observability surface, exposed at /metrics
 // in the Prometheus text exposition format using only the standard
@@ -46,7 +30,7 @@ type Metrics struct {
 	hits      uint64
 	misses    uint64
 	coalesced uint64
-	latencies map[string]*histogram // key: workload
+	latencies map[string]*obs.Histogram // key: workload
 	started   time.Time
 
 	// cacheStats reports live cache occupancy and evictions at scrape
@@ -58,7 +42,7 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		requests:  make(map[string]uint64),
-		latencies: make(map[string]*histogram),
+		latencies: make(map[string]*obs.Histogram),
 		started:   time.Now(),
 	}
 }
@@ -74,10 +58,10 @@ func (m *Metrics) RequestStarted(workload string) func(code int, elapsed time.Du
 		m.requests[workload+"\x00"+strconv.Itoa(code)]++
 		h, ok := m.latencies[workload]
 		if !ok {
-			h = newHistogram()
+			h = obs.NewHistogram(latencyBuckets)
 			m.latencies[workload] = h
 		}
-		h.observe(elapsed.Seconds())
+		h.Observe(elapsed.Seconds())
 	}
 }
 
@@ -188,22 +172,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		return n, err
 	}
 	for _, wl := range sortedKeys(m.latencies) {
-		h := m.latencies[wl]
-		var cum uint64
-		for i, ub := range latencyBuckets {
-			cum += h.counts[i]
-			if err := p("hetserve_request_duration_seconds_bucket{workload=%q,le=%q} %d\n", wl, formatFloat(ub), cum); err != nil {
-				return n, err
-			}
-		}
-		cum += h.counts[len(latencyBuckets)]
-		if err := p("hetserve_request_duration_seconds_bucket{workload=%q,le=\"+Inf\"} %d\n", wl, cum); err != nil {
-			return n, err
-		}
-		if err := p("hetserve_request_duration_seconds_sum{workload=%q} %g\n", wl, h.sum); err != nil {
-			return n, err
-		}
-		if err := p("hetserve_request_duration_seconds_count{workload=%q} %d\n", wl, h.total); err != nil {
+		c, err := m.latencies[wl].WriteProm(w, "hetserve_request_duration_seconds", fmt.Sprintf("workload=%q", wl))
+		n += c
+		if err != nil {
 			return n, err
 		}
 	}

@@ -43,19 +43,3 @@ func TestMetricsExposition(t *testing.T) {
 		t.Errorf("hit ratio = %v, want ~1/3", got)
 	}
 }
-
-func TestHistogramBucketing(t *testing.T) {
-	h := newHistogram()
-	h.observe(0.0001) // below the first bound
-	h.observe(0.003)
-	h.observe(100) // above every bound → +Inf bucket
-	if h.counts[0] != 1 {
-		t.Errorf("first bucket = %d", h.counts[0])
-	}
-	if h.counts[len(latencyBuckets)] != 1 {
-		t.Errorf("+Inf bucket = %d", h.counts[len(latencyBuckets)])
-	}
-	if h.total != 3 {
-		t.Errorf("total = %d", h.total)
-	}
-}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -38,12 +39,25 @@ func genMTX(t *testing.T, rows, nnz int, seed uint64) []byte {
 
 func newTestServer(t *testing.T, cfg Config) *httptest.Server {
 	t.Helper()
-	if cfg.Logf == nil {
-		cfg.Logf = t.Logf
+	if cfg.Logger == nil {
+		cfg.Logger = testLogger(t)
 	}
 	ts := httptest.NewServer(New(cfg).Handler())
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// testLogger routes slog output through t.Logf so failures carry the
+// server's structured log lines.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
 }
 
 func getJSON(t *testing.T, url string, want int) map[string]any {
@@ -187,7 +201,7 @@ func TestEstimateUploadTooLarge(t *testing.T) {
 }
 
 func TestEstimateTimeoutCancelsCleanly(t *testing.T) {
-	srv := New(Config{Workers: 2, CacheSize: 4, Logf: t.Logf})
+	srv := New(Config{Workers: 2, CacheSize: 4, Logger: testLogger(t)})
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 
@@ -230,7 +244,7 @@ func TestEstimateTimeoutCancelsCleanly(t *testing.T) {
 // concurrent POSTs both ran the full Sample → Identify → Extrapolate
 // pipeline because the LRU only helps after the first completes.
 func TestEstimateCoalescesConcurrentIdenticalRequests(t *testing.T) {
-	srv := New(Config{Workers: 4, CacheSize: 8, Logf: t.Logf})
+	srv := New(Config{Workers: 4, CacheSize: 8, Logger: testLogger(t)})
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 

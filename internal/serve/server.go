@@ -20,11 +20,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"repro/internal/flight"
 	"repro/internal/hetsim"
+	"repro/internal/obs"
 )
 
 // Config controls a Server.
@@ -40,10 +42,18 @@ type Config struct {
 	MaxTimeout time.Duration
 	// Platform is the simulated device pair; nil means hetsim.Default.
 	Platform *hetsim.Platform
-	// Verbose enables per-request hetsim.Trace summaries via Logf.
+	// Verbose enables per-request hetsim.Trace summaries via Logger.
 	Verbose bool
-	// Logf receives log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured log records (request lines, pipeline
+	// errors) with trace/request IDs attached from the context; nil
+	// discards them.
+	Logger *slog.Logger
+	// SpanCapacity bounds the span sink's ring buffer; <= 0 means
+	// obs.DefaultSinkCapacity.
+	SpanCapacity int
+	// EnablePprof registers net/http/pprof under /debug/pprof/.
+	// Off by default: profiling endpoints expose heap contents.
+	EnablePprof bool
 }
 
 // Defaults for Config zero values.
@@ -54,7 +64,7 @@ const (
 )
 
 // Server is the hetserve HTTP daemon: estimation handlers plus the
-// pool, cache and metrics they share.
+// pool, cache, metrics, span sink and logger they share.
 type Server struct {
 	cfg      Config
 	platform *hetsim.Platform
@@ -62,6 +72,8 @@ type Server struct {
 	cache    *LRU
 	flight   flight.Group
 	metrics  *Metrics
+	sink     *obs.Sink
+	logger   *slog.Logger
 	mux      *http.ServeMux
 }
 
@@ -73,8 +85,8 @@ func New(cfg Config) *Server {
 	if cfg.MaxTimeout <= 0 {
 		cfg.MaxTimeout = DefaultMaxTimeout
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -82,16 +94,26 @@ func New(cfg Config) *Server {
 		pool:     NewPool(cfg.Workers),
 		cache:    NewLRU(cfg.CacheSize),
 		metrics:  NewMetrics(),
+		sink:     obs.NewSink(cfg.SpanCapacity),
+		logger:   cfg.Logger,
 		mux:      http.NewServeMux(),
 	}
 	if s.platform == nil {
 		s.platform = hetsim.Default()
 	}
 	s.metrics.SetCacheStats(s.cache.Stats)
-	s.mux.HandleFunc("/estimate", s.handleEstimate)
-	s.mux.HandleFunc("/datasets", s.handleDatasets)
+	// The estimation routes get the full middleware (request IDs,
+	// server spans, request log lines); /healthz and /metrics stay
+	// bare so 2-second gateway probes don't flood the span ring.
+	ho := obs.HTTPOptions{Service: "hetserve", Sink: s.sink, Logger: s.logger}
+	s.mux.Handle("/estimate", obs.Handler(ho, "http.estimate", http.HandlerFunc(s.handleEstimate)))
+	s.mux.Handle("/datasets", obs.Handler(ho, "http.datasets", http.HandlerFunc(s.handleDatasets)))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.Handle("/debug/spans", s.sink.Handler())
+	if cfg.EnablePprof {
+		obs.RegisterPprof(s.mux)
+	}
 	return s
 }
 
@@ -104,6 +126,9 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Pool exposes the worker pool (tests).
 func (s *Server) Pool() *Pool { return s.pool }
 
+// Sink exposes the span sink (tests, embedded clusters).
+func (s *Server) Sink() *obs.Sink { return s.sink }
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
@@ -112,7 +137,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if _, err := s.metrics.WriteTo(w); err != nil {
-		s.cfg.Logf("hetserve: writing metrics: %v", err)
+		s.logger.Error("writing metrics", slog.Any("err", err))
+		return
+	}
+	// Stage profiles come from the span sink: every finished span feeds
+	// a histogram keyed by its name (sample/identify/extrapolate/...).
+	if _, err := s.sink.WriteProm(w, "hetserve_stage_seconds"); err != nil {
+		s.logger.Error("writing stage metrics", slog.Any("err", err))
 	}
 }
 
