@@ -1,0 +1,176 @@
+package repro
+
+// BenchmarkSearch compares sequential and parallel Identify searches
+// on full Table II replicas and writes BENCH_search.json — the
+// parallel-search counterpart of the gateway's BENCH_gate.json.
+//
+//	go test -bench=BenchmarkSearch -benchtime=1x
+//
+// Each case runs the same searcher twice over the same workload: once
+// with Parallelism=1 (the historical sequential engine) and once with
+// Parallelism=GOMAXPROCS. The report records the wall-clock of both,
+// the speedup, and whether the two SearchResults are byte-identical
+// (they must be — parallelism is not allowed to change any result
+// field, including Evals, Cost and the Curve order). On a single-CPU
+// machine the speedup is necessarily ~1×; the report carries
+// gomaxprocs so readers can tell.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/hetcc"
+	"repro/internal/hetsim"
+	"repro/internal/hetspmm"
+)
+
+type searchBenchCase struct {
+	Searcher string `json:"searcher"`
+	Workload string `json:"workload"`
+	Dataset  string `json:"dataset"`
+	Evals    int    `json:"evals"`
+	// Wall-clock milliseconds per search at Parallelism=1 and at
+	// Parallelism=GOMAXPROCS, and their ratio.
+	SequentialMS float64 `json:"sequential_ms"`
+	ParallelMS   float64 `json:"parallel_ms"`
+	Speedup      float64 `json:"speedup"`
+	// Identical is true when the two SearchResults marshal to the
+	// same bytes (Best, BestTime, Evals, Cost and Curve all equal).
+	Identical bool `json:"identical"`
+}
+
+type searchBenchReport struct {
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Parallelism int               `json:"parallelism"`
+	Cases       []searchBenchCase `json:"cases"`
+}
+
+// searchRange mirrors core's rangeOf for a bare Workload.
+func searchRange(w core.Workload) (lo, hi float64) {
+	if r, ok := w.(core.Ranger); ok {
+		return r.ThresholdRange()
+	}
+	return 0, 100
+}
+
+// timeSearch runs the searcher as a sub-benchmark pinned to the given
+// parallelism and returns the result plus per-iteration wall-clock.
+func timeSearch(b *testing.B, name string, s core.Searcher, w core.Workload, par int) (core.SearchResult, time.Duration) {
+	var res core.SearchResult
+	var perIter time.Duration
+	b.Run(name, func(b *testing.B) {
+		ctx := core.WithParallelism(context.Background(), par)
+		lo, hi := searchRange(w)
+		for i := 0; i < b.N; i++ {
+			r, err := s.Search(ctx, w, lo, hi)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res = r
+		}
+		perIter = b.Elapsed() / time.Duration(b.N)
+	})
+	return res, perIter
+}
+
+func ccWorkload(b *testing.B, platform *hetsim.Platform, name string) core.Workload {
+	b.Helper()
+	d, err := datasets.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := d.Graph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return hetcc.NewWorkload(name, g, hetcc.NewAlgorithm(platform))
+}
+
+func spmmWorkload(b *testing.B, platform *hetsim.Platform, name string) core.Workload {
+	b.Helper()
+	d, err := datasets.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := d.Matrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := hetspmm.NewWorkload(name, m, hetspmm.NewAlgorithm(platform))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkSearch drives the three searchers sequentially and in
+// parallel and writes the BENCH_search.json report.
+func BenchmarkSearch(b *testing.B) {
+	platform := hetsim.Default()
+	par := runtime.GOMAXPROCS(0)
+	report := searchBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Parallelism: par}
+
+	// germany_osm is the largest replica by vertex count, so its CC
+	// evaluations are the most expensive in the registry — the case
+	// parallel search helps most. cant/SpMM evaluations are cheap
+	// profile lookups, the case it helps least.
+	cases := []struct {
+		searcher core.Searcher
+		workload string
+		dataset  string
+		build    func(*testing.B, *hetsim.Platform, string) core.Workload
+	}{
+		{core.Exhaustive{Step: 1}, "cc", "germany_osm", ccWorkload},
+		{core.CoarseToFine{}, "cc", "germany_osm", ccWorkload},
+		{core.RaceThenFine{Window: 4}, "spmm", "cant", spmmWorkload},
+	}
+
+	for _, c := range cases {
+		w := c.build(b, platform, c.dataset)
+		base := c.searcher.Name() + "/" + c.workload + "/" + c.dataset
+		seqRes, seqTime := timeSearch(b, base+"/p=1", c.searcher, w, 1)
+		parRes, parTime := timeSearch(b, base+"/p=max", c.searcher, w, par)
+
+		seqJSON, err := json.Marshal(seqRes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parJSON, err := json.Marshal(parRes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		identical := string(seqJSON) == string(parJSON)
+		if !identical {
+			b.Errorf("%s: parallel result differs from sequential:\n  seq %s\n  par %s", base, seqJSON, parJSON)
+		}
+		speedup := 0.0
+		if parTime > 0 {
+			speedup = float64(seqTime) / float64(parTime)
+		}
+		report.Cases = append(report.Cases, searchBenchCase{
+			Searcher:     c.searcher.Name(),
+			Workload:     c.workload,
+			Dataset:      c.dataset,
+			Evals:        seqRes.Evals,
+			SequentialMS: float64(seqTime) / float64(time.Millisecond),
+			ParallelMS:   float64(parTime) / float64(time.Millisecond),
+			Speedup:      speedup,
+			Identical:    identical,
+		})
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_search.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_search.json (%d cases, gomaxprocs=%d)", len(report.Cases), report.GOMAXPROCS)
+}

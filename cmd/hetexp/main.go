@@ -26,6 +26,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		seed     = flag.Uint64("seed", 42, "sampling seed")
 		repeats  = flag.Int("repeats", 3, "independent samples per estimate (median)")
+		par      = flag.Int("parallelism", 0, "concurrent threshold evaluations (0 = GOMAXPROCS, 1 = sequential; results identical)")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter (default: the experiment's full set)")
 		quiet    = flag.Bool("q", false, "suppress timing output")
 	)
@@ -38,7 +39,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Seed: *seed, Repeats: *repeats}
+	opts := experiments.Options{Seed: *seed, Repeats: *repeats, Parallelism: *par}
 	if *datasets != "" {
 		for _, n := range strings.Split(*datasets, ",") {
 			if n = strings.TrimSpace(n); n != "" {

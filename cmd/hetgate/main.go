@@ -67,6 +67,7 @@ func main() {
 		upTimeout  = flag.Duration("upstream-timeout", cluster.DefaultUpstreamTimeout, "end-to-end bound on one upstream call (retries and hedges included)")
 		maxUpload  = flag.Int64("max-upload", serve.DefaultMaxUpload, "max POST body bytes")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "workers per embedded backend")
+		par        = flag.Int("parallelism", 1, "concurrent threshold evaluations per pipeline in embedded backends (0 = GOMAXPROCS)")
 		cacheSize  = flag.Int("cache", serve.DefaultCacheSize, "result-cache capacity per embedded backend")
 		verbose    = flag.Bool("v", false, "log retries, hedges and breaker transitions")
 		seed       = flag.Int64("seed", cluster.DefaultSeed, "seed for the retry-jitter RNG (reproducible backoff schedules)")
@@ -85,7 +86,7 @@ func main() {
 		retryBase: *retryBase, retryMax: *retryMax, hedge: *hedge,
 		healthIvl: *healthIvl, brkThresh: *brkThresh, brkCool: *brkCool,
 		upTimeout: *upTimeout, maxUpload: *maxUpload,
-		workers: *workers, cacheSize: *cacheSize, verbose: *verbose,
+		workers: *workers, parallelism: *par, cacheSize: *cacheSize, verbose: *verbose,
 		seed: *seed, logJSON: *logJSON, pprof: *pprofFlag,
 		benchN: *benchN, benchConc: *benchConc, benchOut: *benchOut, benchInputs: *benchInput,
 	}); err != nil {
@@ -104,6 +105,7 @@ type config struct {
 	brkCool, upTimeout  time.Duration
 	maxUpload           int64
 	workers, cacheSize  int
+	parallelism         int
 	verbose             bool
 	seed                int64
 	logJSON, pprof      bool
@@ -139,6 +141,7 @@ func run(c config) error {
 		}
 		e, err := cluster.StartEmbedded(k, serve.Config{
 			Workers:        c.workers,
+			Parallelism:    c.parallelism,
 			CacheSize:      c.cacheSize,
 			MaxUploadBytes: c.maxUpload,
 			Logger:         obs.NewLogger(os.Stderr, "hetserve", level, c.logJSON),

@@ -35,11 +35,12 @@ func main() {
 		mtxPath  = flag.String("mtx", "", "MatrixMarket file to use instead of a synthetic dataset")
 		seed     = flag.Uint64("seed", 42, "sampling seed")
 		repeats  = flag.Int("repeats", 3, "independent samples (median)")
+		par      = flag.Int("parallelism", 0, "concurrent threshold evaluations (0 = GOMAXPROCS, 1 = sequential; results identical)")
 		skipExh  = flag.Bool("skip-exhaustive", false, "skip the exhaustive comparison")
 	)
 	flag.Parse()
 
-	if err := run(*workload, *dataset, *mtxPath, *seed, *repeats, *skipExh); err != nil {
+	if err := run(*workload, *dataset, *mtxPath, *seed, *repeats, *par, *skipExh); err != nil {
 		fmt.Fprintln(os.Stderr, "hetpart:", err)
 		os.Exit(1)
 	}
@@ -65,9 +66,9 @@ func loadMatrix(dataset, mtxPath string) (*sparse.CSR, string, error) {
 	return m, d.Name, err
 }
 
-func run(workload, dataset, mtxPath string, seed uint64, repeats int, skipExh bool) error {
+func run(workload, dataset, mtxPath string, seed uint64, repeats, parallelism int, skipExh bool) error {
 	platform := hetsim.Default()
-	cfg := core.Config{Seed: seed, Repeats: repeats}
+	cfg := core.Config{Seed: seed, Repeats: repeats, Parallelism: parallelism}
 
 	var w core.Sampled
 	var name string
@@ -146,7 +147,7 @@ func run(workload, dataset, mtxPath string, seed uint64, repeats int, skipExh bo
 	if skipExh {
 		return nil
 	}
-	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{Parallelism: parallelism})
 	if err != nil {
 		return err
 	}

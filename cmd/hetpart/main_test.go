@@ -10,14 +10,14 @@ import (
 
 func TestRunAllWorkloadsOnDataset(t *testing.T) {
 	for _, workload := range []string{"cc", "spmm", "scalefree"} {
-		if err := run(workload, "pdb1HYS", "", 3, 1, true); err != nil {
+		if err := run(workload, "pdb1HYS", "", 3, 1, 0, true); err != nil {
 			t.Errorf("%s: %v", workload, err)
 		}
 	}
 }
 
 func TestRunWithExhaustive(t *testing.T) {
-	if err := run("spmm", "pdb1HYS", "", 3, 1, false); err != nil {
+	if err := run("spmm", "pdb1HYS", "", 3, 1, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -35,19 +35,19 @@ func TestRunFromMTXFile(t *testing.T) {
 	if err := mmio.WriteFile(path, m.ToCOO()); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("cc", "", path, 5, 1, true); err != nil {
+	if err := run("cc", "", path, 5, 1, 0, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("teleport", "pdb1HYS", "", 1, 1, true); err == nil {
+	if err := run("teleport", "pdb1HYS", "", 1, 1, 0, true); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run("cc", "unknown-dataset", "", 1, 1, true); err == nil {
+	if err := run("cc", "unknown-dataset", "", 1, 1, 0, true); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if err := run("spmm", "", "/does/not/exist.mtx", 1, 1, true); err == nil {
+	if err := run("spmm", "", "/does/not/exist.mtx", 1, 1, 0, true); err == nil {
 		t.Error("missing mtx accepted")
 	}
 }

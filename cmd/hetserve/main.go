@@ -43,6 +43,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent estimations")
+		par       = flag.Int("parallelism", 1, "concurrent threshold evaluations per pipeline (0 = GOMAXPROCS; results identical at any setting)")
 		cacheSize = flag.Int("cache", serve.DefaultCacheSize, "result cache capacity (0 disables)")
 		maxUpload = flag.Int64("max-upload", serve.DefaultMaxUpload, "max POST body bytes")
 		timeout   = flag.Duration("timeout", serve.DefaultMaxTimeout, "per-request deadline cap")
@@ -52,13 +53,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*addr, *workers, *cacheSize, *maxUpload, *timeout, *verbose, *logJSON, *pprof); err != nil {
+	if err := run(*addr, *workers, *par, *cacheSize, *maxUpload, *timeout, *verbose, *logJSON, *pprof); err != nil {
 		fmt.Fprintln(os.Stderr, "hetserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, cacheSize int, maxUpload int64, timeout time.Duration, verbose, logJSON, pprof bool) error {
+func run(addr string, workers, parallelism, cacheSize int, maxUpload int64, timeout time.Duration, verbose, logJSON, pprof bool) error {
 	level := slog.LevelInfo
 	if verbose {
 		level = slog.LevelDebug
@@ -66,6 +67,7 @@ func run(addr string, workers, cacheSize int, maxUpload int64, timeout time.Dura
 	logger := obs.NewLogger(os.Stderr, "hetserve", level, logJSON)
 	s := serve.New(serve.Config{
 		Workers:        workers,
+		Parallelism:    parallelism,
 		CacheSize:      cacheSize,
 		MaxUploadBytes: maxUpload,
 		MaxTimeout:     timeout,

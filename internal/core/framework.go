@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/xrand"
@@ -42,6 +43,12 @@ type Workload interface {
 	// returns the simulated wall-clock time of the computation
 	// (Phase II of the paper's algorithms; partitioning cost
 	// included, estimation cost not).
+	//
+	// Evaluate must be safe for concurrent use: parallel searches
+	// (WithParallelism / Config.Parallelism) call it from multiple
+	// goroutines on the same receiver. Implementations should treat
+	// the workload's input as immutable and keep any scratch state
+	// local to the call, as the in-tree workloads do.
 	Evaluate(t float64) (time.Duration, error)
 }
 
@@ -116,10 +123,16 @@ type Searcher interface {
 }
 
 // evalTracker memoizes Evaluate calls and accumulates search cost, so
-// composite strategies do not double-charge repeated thresholds.
+// composite strategies do not double-charge repeated thresholds. The
+// mutex makes the memo and bookkeeping goroutine-safe; parallel sweeps
+// (see evalAll in parallel.go) evaluate concurrently but commit their
+// observations in grid order, so the accumulated state is identical to
+// a sequential sweep's.
 type evalTracker struct {
-	ctx   context.Context
-	w     Workload
+	ctx context.Context
+	w   Workload
+
+	mu    sync.Mutex
 	seen  map[int64]EvalPoint // keyed by rounded micropercent
 	res   SearchResult
 	first bool
@@ -135,16 +148,51 @@ func newEvalTracker(ctx context.Context, w Workload) *evalTracker {
 // sub-millipercent grids that a millipercent key would collapse.
 func key(t float64) int64 { return int64(math.Round(t * 1e6)) }
 
+// eval evaluates one threshold sequentially: memo check, Evaluate,
+// commit. Parallel fan-out bypasses it (evaluateRaw + ordered commit).
 func (e *evalTracker) eval(t float64) (time.Duration, error) {
 	if err := e.ctx.Err(); err != nil {
 		return 0, err
 	}
+	e.mu.Lock()
 	if p, ok := e.seen[key(t)]; ok {
+		e.mu.Unlock()
 		return p.Time, nil
+	}
+	e.mu.Unlock()
+	d, err := e.evaluateRaw(t)
+	if err != nil {
+		return 0, err
+	}
+	return e.commit(t, d), nil
+}
+
+// evaluateRaw performs the Evaluate call itself — no memo lookup, no
+// bookkeeping — and notifies the context's EvalObserver around it. It
+// is the only place searches call Workload.Evaluate, so the in-flight
+// gauge counts sequential and parallel evaluations alike.
+func (e *evalTracker) evaluateRaw(t float64) (time.Duration, error) {
+	if o := evalObserverFrom(e.ctx); o != nil {
+		o.EvalStarted()
+		defer o.EvalDone()
 	}
 	d, err := e.w.Evaluate(t)
 	if err != nil {
 		return 0, fmt.Errorf("core: evaluating threshold %.3f: %w", t, err)
+	}
+	return d, nil
+}
+
+// commit records one observation into the memo and bookkeeping. It is
+// idempotent per memo key, and the best-threshold update is a strict
+// improvement test: among equal times the earliest-committed — i.e.
+// lowest, since grids ascend — threshold wins, which is what makes
+// sequential and parallel sweeps agree on ties.
+func (e *evalTracker) commit(t float64, d time.Duration) time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.seen[key(t)]; ok {
+		return p.Time
 	}
 	p := EvalPoint{T: t, Time: d}
 	e.seen[key(t)] = p
@@ -155,7 +203,7 @@ func (e *evalTracker) eval(t float64) (time.Duration, error) {
 		e.res.Best, e.res.BestTime = t, d
 		e.first = false
 	}
-	return d, nil
+	return d
 }
 
 func (e *evalTracker) result() (SearchResult, error) {
@@ -165,27 +213,12 @@ func (e *evalTracker) result() (SearchResult, error) {
 	return e.res, nil
 }
 
-// sweep evaluates lo, lo+step, ... and always finishes with hi itself.
-// The grid is integer-indexed rather than accumulated (t += step
-// drifts: 0.1 has no exact binary representation, so a thousand
-// additions can overshoot hi and silently drop the final — often
-// optimal — endpoint).
+// sweep evaluates the grid lo, lo+step, ..., hi — concurrently when the
+// context allows (WithParallelism), always with sequential-identical
+// results. Grid construction and the fan-out/merge engine live in
+// parallel.go.
 func sweep(e *evalTracker, lo, hi, step float64) error {
-	if hi < lo {
-		return nil
-	}
-	n := int(math.Floor((hi-lo)/step + 1e-9))
-	for i := 0; i <= n; i++ {
-		t := lo + float64(i)*step
-		if t > hi {
-			t = hi // guard the epsilon in n against overshooting
-		}
-		if _, err := e.eval(t); err != nil {
-			return err
-		}
-	}
-	_, err := e.eval(hi)
-	return err
+	return e.evalAll(gridPoints(lo, hi, step))
 }
 
 // Exhaustive evaluates every threshold from lo to hi in steps of Step
@@ -305,11 +338,11 @@ func (s GradientDescent) Search(ctx context.Context, w Workload, lo, hi float64)
 		return SearchResult{}, err
 	}
 	for step >= s.fine() {
-		moved := false
+		// Clamp to the range rather than skipping: on step-shaped
+		// landscapes the optimum often sits exactly at a range
+		// endpoint, which a skipping probe would never visit.
+		probes := make([]float64, 0, 2)
 		for _, cand := range []float64{cur - step, cur + step} {
-			// Clamp to the range rather than skipping: on step-shaped
-			// landscapes the optimum often sits exactly at a range
-			// endpoint, which a skipping probe would never visit.
 			if cand < lo {
 				cand = lo
 			}
@@ -319,6 +352,17 @@ func (s GradientDescent) Search(ctx context.Context, w Workload, lo, hi float64)
 			if cand == cur {
 				continue
 			}
+			probes = append(probes, cand)
+		}
+		// Both probes are independent of each other's outcome, so
+		// evaluate them together (parallel when the context allows),
+		// then replay the move decisions in probe order — the replay
+		// hits the memo, so bookkeeping matches a sequential descent.
+		if err := e.evalAll(probes); err != nil {
+			return SearchResult{}, err
+		}
+		moved := false
+		for _, cand := range probes {
 			d, err := e.eval(cand)
 			if err != nil {
 				return SearchResult{}, err

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -434,14 +435,16 @@ func TestExhaustiveSubMillipercentGrid(t *testing.T) {
 	}
 }
 
-// countingWorkload counts Evaluate calls (for cancellation tests).
+// countingWorkload counts Evaluate calls (for cancellation tests). The
+// counter is atomic because parallel searches call Evaluate from
+// multiple goroutines.
 type countingWorkload struct {
 	vWorkload
-	calls int
+	calls atomic.Int64
 }
 
 func (w *countingWorkload) Evaluate(t float64) (time.Duration, error) {
-	w.calls++
+	w.calls.Add(1)
 	return w.vWorkload.Evaluate(t)
 }
 
@@ -456,8 +459,8 @@ func TestSearchHonorsContext(t *testing.T) {
 		if !errors.Is(err, context.Canceled) {
 			t.Errorf("%s: err = %v, want context.Canceled", s.Name(), err)
 		}
-		if w.calls != 0 {
-			t.Errorf("%s: %d evaluations on a cancelled context", s.Name(), w.calls)
+		if n := w.calls.Load(); n != 0 {
+			t.Errorf("%s: %d evaluations on a cancelled context", s.Name(), n)
 		}
 	}
 }
@@ -473,31 +476,34 @@ func TestEstimateThresholdHonorsContext(t *testing.T) {
 
 // TestSearchDeadlineMidway: a deadline expiring during the sweep stops
 // the search with DeadlineExceeded rather than running to completion.
+// Parallelism is pinned to 1 because the "at most one straggler" bound
+// is a sequential property; the parallel analogue (bounded in-flight
+// overshoot) lives in TestParallelSweepCancellation.
 func TestSearchDeadlineMidway(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	ctx = WithParallelism(ctx, 1)
 	w := &cancelAfter{n: 5, cancel: cancel}
 	_, err := Exhaustive{}.Search(ctx, w, 0, 100)
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
 	}
-	if w.calls > 6 {
-		t.Errorf("search kept evaluating after cancellation: %d calls", w.calls)
+	if n := w.calls.Load(); n > 6 {
+		t.Errorf("search kept evaluating after cancellation: %d calls", n)
 	}
 }
 
 // cancelAfter cancels its context after n evaluations.
 type cancelAfter struct {
-	n      int
-	calls  int
+	n      int64
+	calls  atomic.Int64
 	cancel context.CancelFunc
 }
 
 func (w *cancelAfter) Name() string { return "cancel-after" }
 
 func (w *cancelAfter) Evaluate(t float64) (time.Duration, error) {
-	w.calls++
-	if w.calls >= w.n {
+	if w.calls.Add(1) >= w.n {
 		w.cancel()
 	}
 	return time.Second, nil

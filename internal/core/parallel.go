@@ -1,0 +1,202 @@
+package core
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Threshold evaluations are pure functions of (workload, threshold), so
+// an Identify sweep is embarrassingly parallel: the grid points can be
+// evaluated by a bounded worker pool and merged back in grid order,
+// reproducing the sequential bookkeeping bit for bit. This file holds
+// the concurrency plumbing — the parallelism option, the in-flight
+// evaluation observer, and the fan-out/merge engine used by sweep and
+// GradientDescent's probe pairs.
+
+type parallelismCtxKey struct{}
+
+// WithParallelism returns a context that bounds concurrent Evaluate
+// calls inside searches to n. n <= 0 resets to the default
+// (runtime.GOMAXPROCS(0)); n == 1 forces today's sequential behavior.
+//
+// Parallelism never changes a SearchResult: grid points are merged in
+// grid order and ties broken exactly as a sequential sweep would break
+// them (strict improvement, so the lowest threshold of a tie wins), so
+// sequential and parallel runs are bit-identical. Only wall-clock time
+// changes — the simulated Cost accounting stays serial.
+func WithParallelism(ctx context.Context, n int) context.Context {
+	if n <= 0 {
+		n = 0
+	}
+	return context.WithValue(ctx, parallelismCtxKey{}, n)
+}
+
+// ParallelismFromContext returns the context's evaluation parallelism
+// bound, defaulting to runtime.GOMAXPROCS(0) when absent or reset.
+func ParallelismFromContext(ctx context.Context) int {
+	if n, ok := ctx.Value(parallelismCtxKey{}).(int); ok && n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// EvalObserver is notified around every Workload.Evaluate call a search
+// makes, from whichever goroutine performs the call. Implementations
+// must be safe for concurrent use; the serving stack uses one to export
+// an in-flight evaluation gauge.
+type EvalObserver interface {
+	EvalStarted()
+	EvalDone()
+}
+
+type evalObserverCtxKey struct{}
+
+// WithEvalObserver returns a context whose searches report each
+// Evaluate call to o.
+func WithEvalObserver(ctx context.Context, o EvalObserver) context.Context {
+	return context.WithValue(ctx, evalObserverCtxKey{}, o)
+}
+
+func evalObserverFrom(ctx context.Context) EvalObserver {
+	o, _ := ctx.Value(evalObserverCtxKey{}).(EvalObserver)
+	return o
+}
+
+// gridPoints materializes the sweep grid lo, lo+step, ..., hi. The grid
+// is integer-indexed rather than accumulated (t += step drifts: 0.1 has
+// no exact binary representation, so a thousand additions can overshoot
+// hi and silently drop the final — often optimal — endpoint). The hi
+// endpoint is appended exactly once: only when the last interior point
+// did not already land on it (at memo-key resolution), so eval counts
+// are exact rather than relying on memoization to absorb a duplicate.
+func gridPoints(lo, hi, step float64) []float64 {
+	if hi < lo {
+		return nil
+	}
+	n := int(math.Floor((hi-lo)/step + 1e-9))
+	pts := make([]float64, 0, n+2)
+	last := int64(0)
+	for i := 0; i <= n; i++ {
+		t := lo + float64(i)*step
+		if t > hi {
+			t = hi // guard the epsilon in n against overshooting
+		}
+		if k := key(t); len(pts) == 0 || k != last {
+			pts = append(pts, t)
+			last = k
+		}
+	}
+	if len(pts) == 0 || last != key(hi) {
+		pts = append(pts, hi)
+	}
+	return pts
+}
+
+// evalAll evaluates every not-yet-seen point of pts, fanning out to a
+// bounded worker pool when the context allows parallelism, and commits
+// the observations strictly in pts order. The resulting Evals, Cost,
+// Curve and Best bookkeeping is identical to evaluating pts with a
+// sequential loop, regardless of worker count: workers claim indices in
+// ascending order and only the ordered commit pass mutates the tracker,
+// stopping at the first index that failed (so later successes are
+// discarded exactly as a sequential sweep would never have run them).
+func (e *evalTracker) evalAll(pts []float64) error {
+	if err := e.ctx.Err(); err != nil {
+		return err
+	}
+	// Filter against the memo (and within pts itself) up front so the
+	// pool only sees fresh work; a repeated key costs nothing, exactly
+	// like a sequential memo hit.
+	e.mu.Lock()
+	fresh := make([]float64, 0, len(pts))
+	pending := make(map[int64]struct{}, len(pts))
+	for _, t := range pts {
+		k := key(t)
+		if _, ok := e.seen[k]; ok {
+			continue
+		}
+		if _, ok := pending[k]; ok {
+			continue
+		}
+		pending[k] = struct{}{}
+		fresh = append(fresh, t)
+	}
+	e.mu.Unlock()
+	if len(fresh) == 0 {
+		return nil
+	}
+	par := ParallelismFromContext(e.ctx)
+	if par > len(fresh) {
+		par = len(fresh)
+	}
+	if par <= 1 {
+		for _, t := range fresh {
+			if _, err := e.eval(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type slot struct {
+		d    time.Duration
+		err  error
+		done bool
+	}
+	slots := make([]slot, len(fresh))
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	for k := 0; k < par; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(fresh) {
+					return
+				}
+				if err := e.ctx.Err(); err != nil {
+					slots[i] = slot{err: err, done: true}
+					stop.Store(true)
+					return
+				}
+				d, err := e.evaluateRaw(fresh[i])
+				slots[i] = slot{d: d, err: err, done: true}
+				if err != nil {
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Claims ascend, and a claimed slot is always written before its
+	// worker exits, so after Wait the done slots form a contiguous
+	// prefix. Committing that prefix in order and returning its first
+	// error reproduces the sequential stop-at-first-failure semantics.
+	for i := range slots {
+		s := &slots[i]
+		if !s.done {
+			if err := e.ctx.Err(); err != nil {
+				return err
+			}
+			break
+		}
+		if s.err != nil {
+			return s.err
+		}
+		e.commit(fresh[i], s.d)
+	}
+	return nil
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -23,6 +25,13 @@ type Config struct {
 	// ("our method allows us the freedom to conduct multiple runs of
 	// the algorithm on the sampled input"). Default 1.
 	Repeats int
+	// Parallelism bounds concurrent Evaluate calls (and concurrent
+	// Repeats) across the pipeline. 0 defers to the context
+	// (WithParallelism), which itself defaults to GOMAXPROCS; 1 forces
+	// sequential execution. Results are identical at any setting —
+	// parallelism changes wall-clock time only, never the estimate,
+	// the per-repeat RNG streams, or the simulated cost accounting.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -73,9 +82,14 @@ func (e *Estimate) Overhead() time.Duration { return e.SampleCost + e.IdentifyCo
 // When the context carries observability state (internal/obs), the
 // pipeline records one span per stage — "sample" and "identify" per
 // repeat, "extrapolate" once — under a parent "pipeline" span, so the
-// serving stack's traces show where each estimate's time goes.
+// serving stack's traces show where each estimate's time goes. Repeats
+// run concurrently when parallelism allows; each repeat still gets its
+// own sample/identify spans, started from the shared pipeline parent.
 func EstimateThreshold(ctx context.Context, w Sampled, cfg Config) (est *Estimate, err error) {
 	c := cfg.withDefaults()
+	if c.Parallelism > 0 {
+		ctx = WithParallelism(ctx, c.Parallelism)
+	}
 	ctx, pspan := obs.StartSpan(ctx, "pipeline")
 	pspan.SetAttr("workload", w.Name())
 	pspan.SetAttr("searcher", c.Searcher.Name())
@@ -89,26 +103,116 @@ func EstimateThreshold(ctx context.Context, w Sampled, cfg Config) (est *Estimat
 	if fullLo >= fullHi {
 		return nil, fmt.Errorf("core: threshold range [%g, %g] is empty", fullLo, fullHi)
 	}
+	// Split one RNG per repeat up front, in repeat order: the stream
+	// handed to repeat i is the same whether the repeats then run
+	// sequentially or on a worker pool, so seeding stays reproducible.
 	r := xrand.New(c.Seed)
+	rngs := make([]*xrand.Rand, c.Repeats)
+	for i := range rngs {
+		rngs[i] = r.Split()
+	}
 	est = &Estimate{Repeats: c.Repeats}
-	sampleBests := make([]float64, 0, c.Repeats)
-	for rep := 0; rep < c.Repeats; rep++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		sw, sampleCost, err := sampleStage(ctx, w, r, rep)
+	runRep := func(repCtx context.Context, rep int) (time.Duration, SearchResult, error) {
+		sw, sampleCost, err := sampleStage(repCtx, w, rngs[rep], rep)
 		if err != nil {
-			return nil, err
+			return 0, SearchResult{}, err
 		}
-		est.SampleCost += sampleCost
 		lo, hi := rangeOf(sw, c)
-		res, err := identifyStage(ctx, c.Searcher, w, sw, lo, hi, rep)
+		res, err := identifyStage(repCtx, c.Searcher, w, sw, lo, hi, rep)
 		if err != nil {
-			return nil, err
+			return 0, SearchResult{}, err
 		}
-		est.IdentifyCost += res.Cost
-		est.Evals += res.Evals
-		sampleBests = append(sampleBests, res.Best)
+		return sampleCost, res, nil
+	}
+
+	par := ParallelismFromContext(ctx)
+	workers := par
+	if workers > c.Repeats {
+		workers = c.Repeats
+	}
+	sampleBests := make([]float64, 0, c.Repeats)
+	if workers <= 1 {
+		for rep := 0; rep < c.Repeats; rep++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			sampleCost, res, err := runRep(ctx, rep)
+			if err != nil {
+				return nil, err
+			}
+			est.SampleCost += sampleCost
+			est.IdentifyCost += res.Cost
+			est.Evals += res.Evals
+			sampleBests = append(sampleBests, res.Best)
+		}
+	} else {
+		// Divide the evaluation budget across the concurrent repeats so
+		// total in-flight Evaluate calls stay bounded by par instead of
+		// multiplying (each repeat's inner search parallelizes too).
+		searchPar := par / workers
+		if searchPar < 1 {
+			searchPar = 1
+		}
+		repCtx := WithParallelism(ctx, searchPar)
+		type repOut struct {
+			sampleCost time.Duration
+			res        SearchResult
+			err        error
+			done       bool
+		}
+		outs := make([]repOut, c.Repeats)
+		var (
+			next atomic.Int64
+			stop atomic.Bool
+			wg   sync.WaitGroup
+		)
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if stop.Load() {
+						return
+					}
+					i := int(next.Add(1)) - 1
+					if i >= len(outs) {
+						return
+					}
+					if err := ctx.Err(); err != nil {
+						outs[i] = repOut{err: err, done: true}
+						stop.Store(true)
+						return
+					}
+					sampleCost, res, err := runRep(repCtx, i)
+					outs[i] = repOut{sampleCost: sampleCost, res: res, err: err, done: true}
+					if err != nil {
+						stop.Store(true)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		// Merge in repeat order: done slots form a contiguous prefix
+		// (claims ascend and claimed slots are always written), so the
+		// sums, the sampleBests order feeding the median, and the first
+		// returned error all match the sequential loop exactly.
+		for i := range outs {
+			o := &outs[i]
+			if !o.done {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				return nil, fmt.Errorf("core: repeat %d did not run", i)
+			}
+			if o.err != nil {
+				return nil, o.err
+			}
+			est.SampleCost += o.sampleCost
+			est.IdentifyCost += o.res.Cost
+			est.Evals += o.res.Evals
+			sampleBests = append(sampleBests, o.res.Best)
+		}
 	}
 	_, espan := obs.StartSpan(ctx, "extrapolate")
 	est.SampleThreshold = median(sampleBests)
@@ -125,12 +229,14 @@ func EstimateThreshold(ctx context.Context, w Sampled, cfg Config) (est *Estimat
 	return est, nil
 }
 
-// sampleStage runs one Sample step under its stage span.
-func sampleStage(ctx context.Context, w Sampled, r *xrand.Rand, rep int) (Workload, time.Duration, error) {
+// sampleStage runs one Sample step under its stage span. rng is the
+// repeat's pre-split generator (see EstimateThreshold), already
+// exclusive to this repeat.
+func sampleStage(ctx context.Context, w Sampled, rng *xrand.Rand, rep int) (Workload, time.Duration, error) {
 	sctx, span := obs.StartSpan(ctx, "sample")
 	span.SetAttr("repeat", strconv.Itoa(rep))
 	defer span.Finish()
-	sw, cost, err := w.Sample(sctx, r.Split())
+	sw, cost, err := w.Sample(sctx, rng)
 	if err != nil {
 		err = fmt.Errorf("core: sampling %s: %w", w.Name(), err)
 		span.RecordError(err)
@@ -191,6 +297,9 @@ func median(xs []float64) float64 {
 // workload implementing Ranger is searched over its own range.
 func ExhaustiveBest(ctx context.Context, w Workload, cfg Config) (SearchResult, error) {
 	c := cfg.withDefaults()
+	if c.Parallelism > 0 {
+		ctx = WithParallelism(ctx, c.Parallelism)
+	}
 	lo, hi := rangeOf(w, c)
 	return Exhaustive{Step: 1}.Search(ctx, w, lo, hi)
 }

@@ -55,14 +55,14 @@ func AblationSampler(opts Options) (*AblationSamplerResult, error) {
 			return AblationSamplerRow{}, err
 		}
 		w := hetcc.NewWorkload(name, g, alg)
-		best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
+		best, err := core.ExhaustiveBest(context.Background(), w, core.Config{Parallelism: o.Parallelism})
 		if err != nil {
 			return AblationSamplerRow{}, err
 		}
 		row := AblationSamplerRow{Dataset: name, Exhaustive: best.Best, ExhaustiveTime: best.BestTime}
 
 		contracted := hetcc.NewWorkload(name, g, alg)
-		est, err := core.EstimateThreshold(context.Background(), contracted, core.Config{Seed: o.Seed ^ hashName(name), Repeats: o.Repeats})
+		est, err := core.EstimateThreshold(context.Background(), contracted, core.Config{Seed: o.Seed ^ hashName(name), Repeats: o.Repeats, Parallelism: o.Parallelism})
 		if err != nil {
 			return AblationSamplerRow{}, err
 		}
@@ -73,7 +73,7 @@ func AblationSampler(opts Options) (*AblationSamplerResult, error) {
 
 		induced := hetcc.NewWorkload(name, g, alg)
 		induced.Induced = true
-		est, err = core.EstimateThreshold(context.Background(), induced, core.Config{Seed: o.Seed ^ hashName(name), Repeats: o.Repeats})
+		est, err = core.EstimateThreshold(context.Background(), induced, core.Config{Seed: o.Seed ^ hashName(name), Repeats: o.Repeats, Parallelism: o.Parallelism})
 		if err != nil {
 			return AblationSamplerRow{}, err
 		}
@@ -84,7 +84,7 @@ func AblationSampler(opts Options) (*AblationSamplerResult, error) {
 
 		importance := hetcc.NewWorkload(name, g, alg)
 		importance.Importance = true
-		est, err = core.EstimateThreshold(context.Background(), importance, core.Config{Seed: o.Seed ^ hashName(name), Repeats: o.Repeats})
+		est, err = core.EstimateThreshold(context.Background(), importance, core.Config{Seed: o.Seed ^ hashName(name), Repeats: o.Repeats, Parallelism: o.Parallelism})
 		if err != nil {
 			return AblationSamplerRow{}, err
 		}
@@ -160,7 +160,7 @@ func AblationSearcher(opts Options) (*AblationSearcherResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		exh, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
+		exh, err := core.ExhaustiveBest(context.Background(), w, core.Config{Parallelism: o.Parallelism})
 		if err != nil {
 			return nil, err
 		}

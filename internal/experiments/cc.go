@@ -57,13 +57,14 @@ func Fig3(opts Options) (*Fig3Result, error) {
 }
 
 func ccCase(name string, w *hetcc.Workload, alg *hetcc.Algorithm, o Options) (CaseRow, error) {
-	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{Parallelism: o.Parallelism})
 	if err != nil {
 		return CaseRow{}, fmt.Errorf("fig3 %s exhaustive: %w", name, err)
 	}
 	est, err := core.EstimateThreshold(context.Background(), w, core.Config{
-		Seed:    o.Seed ^ hashName(name),
-		Repeats: o.Repeats,
+		Seed:        o.Seed ^ hashName(name),
+		Repeats:     o.Repeats,
+		Parallelism: o.Parallelism,
 	})
 	if err != nil {
 		return CaseRow{}, fmt.Errorf("fig3 %s estimate: %w", name, err)
@@ -166,8 +167,9 @@ func ccSensitivity(name string, g *graph.Graph, alg *hetcc.Algorithm, o Options)
 		w := hetcc.NewWorkload(name, g, alg)
 		w.SampleSize = size
 		est, err := core.EstimateThreshold(context.Background(), w, core.Config{
-			Seed:    o.Seed ^ hashName(name) ^ uint64(size),
-			Repeats: o.Repeats,
+			Seed:        o.Seed ^ hashName(name) ^ uint64(size),
+			Repeats:     o.Repeats,
+			Parallelism: o.Parallelism,
 		})
 		if err != nil {
 			return s, fmt.Errorf("fig4 %s size %d: %w", name, size, err)

@@ -42,6 +42,10 @@ type Options struct {
 	// Repeats is the number of independent samples per estimate
 	// (median taken); 0 means 3.
 	Repeats int
+	// Parallelism is the number of concurrent threshold evaluations
+	// per search (0 means GOMAXPROCS, 1 means sequential). Results
+	// are identical at any setting; only wall-clock time changes.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {

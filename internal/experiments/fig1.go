@@ -47,13 +47,14 @@ func Fig1(opts Options) (*Fig1Result, error) {
 		if err != nil {
 			return Fig1Row{}, err
 		}
-		best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
+		best, err := core.ExhaustiveBest(context.Background(), w, core.Config{Parallelism: o.Parallelism})
 		if err != nil {
 			return Fig1Row{}, err
 		}
 		est, err := core.EstimateThreshold(context.Background(), w, core.Config{
-			Seed:    o.Seed ^ uint64(n),
-			Repeats: o.Repeats,
+			Seed:        o.Seed ^ uint64(n),
+			Repeats:     o.Repeats,
+			Parallelism: o.Parallelism,
 		})
 		if err != nil {
 			return Fig1Row{}, err

@@ -61,13 +61,14 @@ func AblationPlatform(opts Options) (*AblationPlatformResult, error) {
 			}
 			alg := hetcc.NewAlgorithm(platform)
 			w := hetcc.NewWorkload(dn, g, alg)
-			best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
+			best, err := core.ExhaustiveBest(context.Background(), w, core.Config{Parallelism: o.Parallelism})
 			if err != nil {
 				return nil, fmt.Errorf("platform %s: %w", pn, err)
 			}
 			est, err := core.EstimateThreshold(context.Background(), w, core.Config{
-				Seed:    o.Seed ^ hashName(pn+dn),
-				Repeats: o.Repeats,
+				Seed:        o.Seed ^ hashName(pn+dn),
+				Repeats:     o.Repeats,
+				Parallelism: o.Parallelism,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("platform %s estimate: %w", pn, err)

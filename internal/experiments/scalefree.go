@@ -60,14 +60,15 @@ func Fig8(opts Options) (*Fig8Result, error) {
 }
 
 func scaleFreeCase(name string, w *hetscale.Workload, o Options) (CaseRow, error) {
-	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{Parallelism: o.Parallelism})
 	if err != nil {
 		return CaseRow{}, fmt.Errorf("fig8 %s exhaustive: %w", name, err)
 	}
 	est, err := core.EstimateThreshold(context.Background(), w, core.Config{
-		Searcher: scaleFreeSearcher(),
-		Seed:     o.Seed ^ hashName(name),
-		Repeats:  o.Repeats,
+		Searcher:    scaleFreeSearcher(),
+		Seed:        o.Seed ^ hashName(name),
+		Repeats:     o.Repeats,
+		Parallelism: o.Parallelism,
 	})
 	if err != nil {
 		return CaseRow{}, fmt.Errorf("fig8 %s estimate: %w", name, err)
@@ -180,9 +181,10 @@ func scaleFreeSensitivity(name string, m *sparse.CSR, alg *hetscale.Algorithm, o
 		}
 		w.SampleRows = size
 		est, err := core.EstimateThreshold(context.Background(), w, core.Config{
-			Searcher: scaleFreeSearcher(),
-			Seed:     o.Seed ^ hashName(name) ^ uint64(size),
-			Repeats:  o.Repeats,
+			Searcher:    scaleFreeSearcher(),
+			Seed:        o.Seed ^ hashName(name) ^ uint64(size),
+			Repeats:     o.Repeats,
+			Parallelism: o.Parallelism,
 		})
 		if err != nil {
 			return s, fmt.Errorf("fig9 %s size %d: %w", name, size, err)

@@ -60,14 +60,15 @@ func Fig5(opts Options) (*Fig5Result, error) {
 }
 
 func spmmCase(name string, w *hetspmm.Workload, o Options) (CaseRow, error) {
-	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
+	best, err := core.ExhaustiveBest(context.Background(), w, core.Config{Parallelism: o.Parallelism})
 	if err != nil {
 		return CaseRow{}, fmt.Errorf("fig5 %s exhaustive: %w", name, err)
 	}
 	est, err := core.EstimateThreshold(context.Background(), w, core.Config{
-		Searcher: spmmSearcher(),
-		Seed:     o.Seed ^ hashName(name),
-		Repeats:  o.Repeats,
+		Searcher:    spmmSearcher(),
+		Seed:        o.Seed ^ hashName(name),
+		Repeats:     o.Repeats,
+		Parallelism: o.Parallelism,
 	})
 	if err != nil {
 		return CaseRow{}, fmt.Errorf("fig5 %s estimate: %w", name, err)
@@ -161,9 +162,10 @@ func spmmSensitivity(name string, m *sparse.CSR, alg *hetspmm.Algorithm, o Optio
 			w.SampleDivisor = 1
 		}
 		est, err := core.EstimateThreshold(context.Background(), w, core.Config{
-			Searcher: spmmSearcher(),
-			Seed:     o.Seed ^ hashName(name) ^ uint64(size),
-			Repeats:  o.Repeats,
+			Searcher:    spmmSearcher(),
+			Seed:        o.Seed ^ hashName(name) ^ uint64(size),
+			Repeats:     o.Repeats,
+			Parallelism: o.Parallelism,
 		})
 		if err != nil {
 			return s, fmt.Errorf("fig6 %s size %d: %w", name, size, err)
@@ -233,7 +235,7 @@ func Fig7(opts Options) (*Fig7Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		best, err := core.ExhaustiveBest(context.Background(), w, core.Config{})
+		best, err := core.ExhaustiveBest(context.Background(), w, core.Config{Parallelism: o.Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -251,9 +253,10 @@ func Fig7(opts Options) (*Fig7Result, error) {
 		}
 		// Random sample estimate (the framework's default).
 		est, err := core.EstimateThreshold(context.Background(), w, core.Config{
-			Searcher: spmmSearcher(),
-			Seed:     o.Seed ^ hashName(name),
-			Repeats:  o.Repeats,
+			Searcher:    spmmSearcher(),
+			Seed:        o.Seed ^ hashName(name),
+			Repeats:     o.Repeats,
+			Parallelism: o.Parallelism,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,82 @@
+package hetcc
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hetsim"
+)
+
+// TestEvaluateConcurrent hammers one shared Workload with parallel
+// Evaluate calls across the threshold range and checks every result
+// against a sequential reference. Run with -race this verifies the
+// documented guarantee that Run keeps all scratch state local.
+func TestEvaluateConcurrent(t *testing.T) {
+	g := testGraph(t, graph.KindGNM, 400, 800, 7)
+	w := NewWorkload("gnm", g, NewAlgorithm(hetsim.Default()))
+
+	thresholds := make([]float64, 0, 21)
+	for th := 0.0; th <= 100; th += 5 {
+		thresholds = append(thresholds, th)
+	}
+	want := make([]time.Duration, len(thresholds))
+	for i, th := range thresholds {
+		d, err := w.Evaluate(th)
+		if err != nil {
+			t.Fatalf("t=%v: %v", th, err)
+		}
+		want[i] = d
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for k := 0; k < goroutines; k++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for j := range thresholds {
+				i := (j + off) % len(thresholds)
+				d, err := w.Evaluate(thresholds[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if d != want[i] {
+					t.Errorf("t=%v: concurrent Evaluate = %v, want %v", thresholds[i], d, want[i])
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelSearchMatchesSequential runs the real exhaustive search
+// on a real CC workload at Parallelism 1 and 8 and requires identical
+// SearchResults — the end-to-end determinism guarantee on a workload
+// whose Evaluate does genuine algorithm runs.
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	g := testGraph(t, graph.KindRMAT, 300, 900, 3)
+	w := NewWorkload("rmat", g, NewAlgorithm(hetsim.Default()))
+	seq, err := core.Exhaustive{Step: 5}.Search(core.WithParallelism(context.Background(), 1), w, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.Exhaustive{Step: 5}.Search(core.WithParallelism(context.Background(), 8), w, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel search differs:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

@@ -53,7 +53,11 @@ func (w *Workload) Name() string { return "cc/" + w.name }
 func (w *Workload) Graph() *graph.Graph { return w.g }
 
 // Evaluate implements core.Workload: one full heterogeneous CC run at
-// threshold t, returning its simulated duration.
+// threshold t, returning its simulated duration. It is safe for
+// concurrent use — Run treats the graph as immutable and allocates all
+// per-run scratch (frontiers, labels, union-find state) locally — so
+// parallel searches (core.WithParallelism) may call it from many
+// goroutines on one Workload.
 func (w *Workload) Evaluate(t float64) (time.Duration, error) {
 	res, err := w.alg.Run(w.g, t)
 	if err != nil {

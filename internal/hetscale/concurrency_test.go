@@ -1,0 +1,82 @@
+package hetscale
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hetsim"
+)
+
+// TestEvaluateConcurrent hammers one shared Workload with parallel
+// Evaluate calls across its density range and checks every result
+// against a sequential reference; -race verifies the ordered profile
+// stays read-only.
+func TestEvaluateConcurrent(t *testing.T) {
+	a := scaleFree(t, 400, 4000, 9)
+	w, err := NewWorkload("powerlaw", a, NewAlgorithm(hetsim.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := w.ThresholdRange()
+
+	thresholds := make([]float64, 0, 41)
+	for i := 0; i <= 40; i++ {
+		thresholds = append(thresholds, lo+(hi-lo)*float64(i)/40)
+	}
+	want := make([]time.Duration, len(thresholds))
+	for i, th := range thresholds {
+		if want[i], err = w.Evaluate(th); err != nil {
+			t.Fatalf("t=%v: %v", th, err)
+		}
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for k := 0; k < goroutines; k++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for j := range thresholds {
+				i := (j + off) % len(thresholds)
+				d, err := w.Evaluate(thresholds[i])
+				if err != nil {
+					t.Errorf("t=%v: %v", thresholds[i], err)
+					return
+				}
+				if d != want[i] {
+					t.Errorf("t=%v: concurrent Evaluate = %v, want %v", thresholds[i], d, want[i])
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
+// TestParallelGradientDescentDeterminism runs the workload's default
+// searcher (gradient descent over the density range) at Parallelism 1
+// and 8 and requires identical SearchResults, including the probe
+// order recorded in the Curve.
+func TestParallelGradientDescentDeterminism(t *testing.T) {
+	a := scaleFree(t, 400, 4000, 9)
+	w, err := NewWorkload("powerlaw", a, NewAlgorithm(hetsim.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := w.ThresholdRange()
+	seq, err := core.GradientDescent{}.Search(core.WithParallelism(context.Background(), 1), w, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.GradientDescent{}.Search(core.WithParallelism(context.Background(), 8), w, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel gradient descent differs:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

@@ -60,7 +60,10 @@ func (w *Workload) ThresholdRange() (lo, hi float64) {
 	return 0, float64(w.prof.MaxDegree())
 }
 
-// Evaluate implements core.Workload via the density profile.
+// Evaluate implements core.Workload via the density profile. It is
+// safe for concurrent use: SimTime only reads the profile's ordered
+// prefix quantities, which are built once in NewProfile and never
+// mutated afterwards.
 func (w *Workload) Evaluate(t float64) (time.Duration, error) {
 	return w.alg.SimTime(w.prof, t)
 }

@@ -123,7 +123,11 @@ func NewDevice(spec DeviceSpec) (*Device, error) {
 	return &Device{Spec: spec}, nil
 }
 
-// Time returns the simulated execution time of k on d.
+// Time returns the simulated execution time of k on d. It is a pure
+// function of the device spec and the kernel descriptor — no state is
+// read or written beyond its arguments — so it is safe to call from
+// any number of goroutines (parallel searches evaluate thresholds
+// concurrently and every evaluation funnels into Time).
 func (d *Device) Time(k Kernel) time.Duration {
 	if k.Ops <= 0 && k.Bytes <= 0 {
 		return 0

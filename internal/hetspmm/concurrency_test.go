@@ -1,0 +1,79 @@
+package hetspmm
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hetsim"
+	"repro/internal/sparse"
+)
+
+// TestEvaluateConcurrent hammers one shared Workload with parallel
+// Evaluate calls (profile-lookup path) and checks every result against
+// a sequential reference; -race verifies the profile stays read-only.
+func TestEvaluateConcurrent(t *testing.T) {
+	a := testMatrix(t, sparse.ClassUniform, 300, 3000, 5)
+	w, err := NewWorkload("uniform", a, NewAlgorithm(hetsim.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	thresholds := make([]float64, 0, 101)
+	for r := 0.0; r <= 100; r++ {
+		thresholds = append(thresholds, r)
+	}
+	want := make([]time.Duration, len(thresholds))
+	for i, r := range thresholds {
+		if want[i], err = w.Evaluate(r); err != nil {
+			t.Fatalf("r=%v: %v", r, err)
+		}
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for k := 0; k < goroutines; k++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for j := range thresholds {
+				i := (j + off) % len(thresholds)
+				d, err := w.Evaluate(thresholds[i])
+				if err != nil {
+					t.Errorf("r=%v: %v", thresholds[i], err)
+					return
+				}
+				if d != want[i] {
+					t.Errorf("r=%v: concurrent Evaluate = %v, want %v", thresholds[i], d, want[i])
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
+// TestParallelRaceThenFineDeterminism runs the workload's default
+// searcher (race-then-fine) at Parallelism 1 and 8; the race estimate
+// and the windowed sweep must agree exactly.
+func TestParallelRaceThenFineDeterminism(t *testing.T) {
+	a := testMatrix(t, sparse.ClassUniform, 300, 3000, 5)
+	w, err := NewWorkload("uniform", a, NewAlgorithm(hetsim.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := core.RaceThenFine{}.Search(core.WithParallelism(context.Background(), 1), w, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.RaceThenFine{}.Search(core.WithParallelism(context.Background(), 8), w, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel race-then-fine differs:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

@@ -58,7 +58,9 @@ func (w *Workload) Matrix() *sparse.CSR { return w.prof.a }
 func (w *Workload) Profile() *Profile { return w.prof }
 
 // Evaluate implements core.Workload via the prefix profile (identical
-// to Run's charged time; see TestProfileTimeMatchesRun).
+// to Run's charged time; see TestProfileTimeMatchesRun). It is safe
+// for concurrent use: SimTime only reads the profile's prefix sums,
+// which are built once in NewProfile and never mutated afterwards.
 func (w *Workload) Evaluate(r float64) (time.Duration, error) {
 	return w.alg.SimTime(w.prof, r)
 }

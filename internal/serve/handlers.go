@@ -225,16 +225,22 @@ func (s *Server) runPipeline(ctx context.Context, cacheKey, workload, input stri
 		return nil, err
 	}
 
+	// The metrics registry observes every Evaluate call the pipeline
+	// makes — sequential or fanned out — for the in-flight gauge.
+	ctx = core.WithEvalObserver(ctx, s.metrics)
 	est, err := core.EstimateThreshold(ctx, cw, core.Config{
-		Searcher: searcher,
-		Seed:     seed,
-		Repeats:  repeats,
+		Searcher:    searcher,
+		Seed:        seed,
+		Repeats:     repeats,
+		Parallelism: s.cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("estimating %s: %w", cw.Name(), err)
 	}
 	_, espan := obs.StartSpan(ctx, "evaluate")
+	s.metrics.EvalStarted()
 	runTime, err := cw.Evaluate(est.Threshold)
+	s.metrics.EvalDone()
 	if err != nil {
 		err = fmt.Errorf("evaluating %s at %.2f: %w", cw.Name(), est.Threshold, err)
 		espan.RecordError(err)
@@ -313,9 +319,22 @@ func (s *Server) buildWorkload(ctx context.Context, workload, input string, body
 		}
 		return cw, nil
 	}
-	cw, err := buildFromDataset(s.platform, workload, input)
+	// Dataset builds go through the build cache: the replica population
+	// is fixed, so re-parsing the same graph/matrix on every result-
+	// cache miss is pure waste. Concurrent misses coalesce into one
+	// build; followers count as hits.
+	cw, hit, err := s.builds.get(buildKey(s.platform, workload, input), func() (core.Sampled, error) {
+		return buildFromDataset(s.platform, workload, input)
+	})
 	if err != nil {
 		return fail(badRequest("%v", err))
+	}
+	if hit {
+		s.metrics.BuildHit()
+		span.SetAttr("cache", "hit")
+	} else {
+		s.metrics.BuildMiss()
+		span.SetAttr("cache", "miss")
 	}
 	return cw, nil
 }

@@ -25,13 +25,21 @@ var latencyBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5,
 type Metrics struct {
 	inFlight atomic.Int64
 
-	mu        sync.Mutex
-	requests  map[string]uint64 // key: workload + "\x00" + code
-	hits      uint64
-	misses    uint64
-	coalesced uint64
-	latencies map[string]*obs.Histogram // key: workload
-	started   time.Time
+	// Threshold-evaluation accounting, fed by the estimation core via
+	// core.EvalObserver: evaluations currently executing (across all
+	// pipelines and their parallel workers) and the lifetime total.
+	evalsInFlight atomic.Int64
+	evalsTotal    atomic.Uint64
+
+	mu          sync.Mutex
+	requests    map[string]uint64 // key: workload + "\x00" + code
+	hits        uint64
+	misses      uint64
+	coalesced   uint64
+	buildHits   uint64
+	buildMisses uint64
+	latencies   map[string]*obs.Histogram // key: workload
+	started     time.Time
 
 	// cacheStats reports live cache occupancy and evictions at scrape
 	// time; set by the Server that owns the LRU.
@@ -86,6 +94,45 @@ func (m *Metrics) Coalesced() {
 	m.coalesced++
 	m.mu.Unlock()
 }
+
+// BuildHit records a workload construction answered from the build
+// cache (including singleflight followers of an in-flight build).
+func (m *Metrics) BuildHit() {
+	m.mu.Lock()
+	m.buildHits++
+	m.mu.Unlock()
+}
+
+// BuildMiss records a workload construction that had to parse and
+// profile the input.
+func (m *Metrics) BuildMiss() {
+	m.mu.Lock()
+	m.buildMisses++
+	m.mu.Unlock()
+}
+
+// BuildCounts returns the build-cache hit/miss totals (tests).
+func (m *Metrics) BuildCounts() (hits, misses uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.buildHits, m.buildMisses
+}
+
+// EvalStarted implements core.EvalObserver.
+func (m *Metrics) EvalStarted() {
+	m.evalsInFlight.Add(1)
+	m.evalsTotal.Add(1)
+}
+
+// EvalDone implements core.EvalObserver.
+func (m *Metrics) EvalDone() { m.evalsInFlight.Add(-1) }
+
+// EvalsInFlight returns the number of threshold evaluations currently
+// executing (tests).
+func (m *Metrics) EvalsInFlight() int64 { return m.evalsInFlight.Load() }
+
+// EvalsTotal returns the lifetime threshold-evaluation count (tests).
+func (m *Metrics) EvalsTotal() uint64 { return m.evalsTotal.Load() }
 
 // CacheCounts returns the hit/miss/coalesce totals (tests).
 func (m *Metrics) CacheCounts() (hits, misses, coalesced uint64) {
@@ -161,7 +208,19 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 	}
+	if err := p("# HELP hetserve_workload_build_hits_total Workload constructions served from the build cache.\n# TYPE hetserve_workload_build_hits_total counter\nhetserve_workload_build_hits_total %d\n", m.buildHits); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetserve_workload_build_misses_total Workload constructions that parsed and profiled the input.\n# TYPE hetserve_workload_build_misses_total counter\nhetserve_workload_build_misses_total %d\n", m.buildMisses); err != nil {
+		return n, err
+	}
 	if err := p("# HELP hetserve_in_flight_requests Requests currently being handled.\n# TYPE hetserve_in_flight_requests gauge\nhetserve_in_flight_requests %d\n", m.inFlight.Load()); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetserve_evaluations_in_flight Threshold evaluations currently executing across all pipelines.\n# TYPE hetserve_evaluations_in_flight gauge\nhetserve_evaluations_in_flight %d\n", m.evalsInFlight.Load()); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetserve_evaluations_total Threshold evaluations performed since start.\n# TYPE hetserve_evaluations_total counter\nhetserve_evaluations_total %d\n", m.evalsTotal.Load()); err != nil {
 		return n, err
 	}
 	if err := p("# HELP hetserve_uptime_seconds Seconds since the daemon started.\n# TYPE hetserve_uptime_seconds gauge\nhetserve_uptime_seconds %g\n", time.Since(m.started).Seconds()); err != nil {

@@ -10,9 +10,12 @@
 // LRU result cache keyed by (input fingerprint, workload, seed,
 // searcher config) answers repeated inputs from memory, identical
 // concurrent requests coalesce into a single pipeline run
-// (singleflight on the cache key), and Metrics exposes request counts,
-// cache hit ratio, coalesce counts, an in-flight gauge and
-// per-workload latency histograms at /metrics — all standard library.
+// (singleflight on the cache key), constructed dataset workloads are
+// kept in a build cache so result-cache misses stop re-parsing the
+// replicas, and Metrics exposes request counts, cache hit ratios,
+// coalesce counts, in-flight gauges (requests and threshold
+// evaluations) and per-workload latency histograms at /metrics — all
+// standard library.
 package serve
 
 import (
@@ -33,6 +36,13 @@ import (
 type Config struct {
 	// Workers bounds concurrent estimations; <= 0 means GOMAXPROCS.
 	Workers int
+	// Parallelism bounds concurrent threshold evaluations inside one
+	// estimation pipeline (core.Config.Parallelism); results are
+	// identical at any setting. <= 0 means GOMAXPROCS. Daemons default
+	// the flag to 1: under load the worker pool already saturates the
+	// cores, so intra-pipeline parallelism only helps lightly loaded
+	// servers working on expensive workloads (see README).
+	Parallelism int
 	// CacheSize is the LRU result-cache capacity; <= 0 disables it.
 	CacheSize int
 	// MaxUploadBytes caps POST bodies; <= 0 means DefaultMaxUpload.
@@ -70,6 +80,7 @@ type Server struct {
 	platform *hetsim.Platform
 	pool     *Pool
 	cache    *LRU
+	builds   *buildCache
 	flight   flight.Group
 	metrics  *Metrics
 	sink     *obs.Sink
@@ -93,6 +104,7 @@ func New(cfg Config) *Server {
 		platform: cfg.Platform,
 		pool:     NewPool(cfg.Workers),
 		cache:    NewLRU(cfg.CacheSize),
+		builds:   newBuildCache(),
 		metrics:  NewMetrics(),
 		sink:     obs.NewSink(cfg.SpanCapacity),
 		logger:   cfg.Logger,
