@@ -46,6 +46,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/mmio"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/serve"
 	"repro/internal/sparse"
 )
@@ -71,12 +72,19 @@ func main() {
 		cacheSize  = flag.Int("cache", serve.DefaultCacheSize, "result-cache capacity per embedded backend")
 		verbose    = flag.Bool("v", false, "log retries, hedges and breaker transitions")
 		seed       = flag.Int64("seed", cluster.DefaultSeed, "seed for the retry-jitter RNG (reproducible backoff schedules)")
+		faults     = flag.String("faults", "", "fault-injection rules on upstream calls, e.g. 'backend=1;latency=200ms;errors=0.3' (chaos testing; empty disables)")
+		faultsSeed = flag.Int64("faults-seed", 1, "seed for the fault-injection RNG (same seed + traffic = same faults)")
+		admission  = flag.Int64("admission", 0, "embedded backends: admission capacity in evaluation-cost units (0 = default)")
+		admissionQ = flag.Int("admission-queue", 0, "embedded backends: requests that may wait for admission before a 429 shed (0 = default, negative = never queue)")
+		degrade    = flag.Bool("degrade", false, "embedded backends: serve stale/fallback answers (marked degraded) instead of 429 on shed")
+		staleAfter = flag.Duration("stale-after", 0, "embedded backends: cache age after which entries are served stale while revalidating (0 = never)")
 		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		pprofFlag  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		benchN     = flag.Int("bench", 0, "run N requests against an embedded cluster, write a latency report, and exit")
 		benchConc  = flag.Int("bench-concurrency", 8, "concurrent clients in bench mode")
 		benchOut   = flag.String("bench-out", "BENCH_gate.json", "bench report path")
 		benchInput = flag.Int("bench-inputs", 6, "distinct inputs in the bench request mix")
+		benchTmo   = flag.Duration("timeout", 0, "bench mode: per-request client timeout, propagated upstream as the deadline budget (0 = none)")
 	)
 	flag.Parse()
 
@@ -87,8 +95,12 @@ func main() {
 		healthIvl: *healthIvl, brkThresh: *brkThresh, brkCool: *brkCool,
 		upTimeout: *upTimeout, maxUpload: *maxUpload,
 		workers: *workers, parallelism: *par, cacheSize: *cacheSize, verbose: *verbose,
-		seed: *seed, logJSON: *logJSON, pprof: *pprofFlag,
+		seed: *seed, faults: *faults, faultsSeed: *faultsSeed,
+		admission: *admission, admissionQueue: *admissionQ,
+		degrade: *degrade, staleAfter: *staleAfter,
+		logJSON: *logJSON, pprof: *pprofFlag,
 		benchN: *benchN, benchConc: *benchConc, benchOut: *benchOut, benchInputs: *benchInput,
+		benchTimeout: *benchTmo,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "hetgate:", err)
 		os.Exit(1)
@@ -108,10 +120,17 @@ type config struct {
 	parallelism         int
 	verbose             bool
 	seed                int64
+	faults              string
+	faultsSeed          int64
+	admission           int64
+	admissionQueue      int
+	degrade             bool
+	staleAfter          time.Duration
 	logJSON, pprof      bool
 	benchN, benchConc   int
 	benchOut            string
 	benchInputs         int
+	benchTimeout        time.Duration
 }
 
 func run(c config) error {
@@ -120,6 +139,11 @@ func run(c config) error {
 		level = slog.LevelDebug
 	}
 	logger := obs.NewLogger(os.Stderr, "hetgate", level, c.logJSON)
+
+	inject, err := resilience.ParseFaults(c.faults, c.faultsSeed)
+	if err != nil {
+		return err
+	}
 
 	// Resolve backends: explicit URLs, or an embedded loopback cluster.
 	var urls []string
@@ -144,6 +168,10 @@ func run(c config) error {
 			Parallelism:    c.parallelism,
 			CacheSize:      c.cacheSize,
 			MaxUploadBytes: c.maxUpload,
+			AdmissionLimit: c.admission,
+			AdmissionQueue: c.admissionQueue,
+			DegradeOnShed:  c.degrade,
+			StaleAfter:     c.staleAfter,
 			Logger:         obs.NewLogger(os.Stderr, "hetserve", level, c.logJSON),
 			EnablePprof:    c.pprof,
 		})
@@ -171,6 +199,7 @@ func run(c config) error {
 		MaxBodyBytes:     c.maxUpload,
 		Logger:           logger,
 		Seed:             c.seed,
+		Faults:           inject,
 		EnablePprof:      c.pprof,
 	})
 	if err != nil {
@@ -244,6 +273,9 @@ type benchReport struct {
 	GwCoalesce  float64 `json:"gateway_coalesce_rate"`
 	Retries     uint64  `json:"retries"`
 	Hedges      uint64  `json:"hedges"`
+	Shed        uint64  `json:"shed"`
+	Degraded    uint64  `json:"degraded"`
+	TimeoutMS   float64 `json:"client_timeout_ms,omitempty"`
 }
 
 // runBench drives the gateway handler over a real loopback listener
@@ -276,10 +308,17 @@ func runBench(ctx context.Context, g *cluster.Gateway, c config, logger *slog.Lo
 		bodies[i] = buf.Bytes()
 	}
 
+	// The bench client honors -timeout: a per-request deadline the
+	// gateway turns into an X-Deadline-Ms budget for its backends, so
+	// bench runs exercise the same deadline propagation as impatient
+	// production clients. Zero keeps the old unbounded behavior.
+	client := &http.Client{Timeout: c.benchTimeout}
+
 	logger.Info("bench starting",
 		slog.Int("requests", c.benchN),
 		slog.Int("clients", c.benchConc),
 		slog.Int("inputs", c.benchInputs),
+		slog.Duration("timeout", c.benchTimeout),
 		slog.Int("backends", len(g.Backends())))
 
 	var (
@@ -303,7 +342,7 @@ func runBench(ctx context.Context, g *cluster.Gateway, c config, logger *slog.Lo
 				}
 				body := bodies[i%len(bodies)]
 				t0 := time.Now()
-				resp, err := http.Post(base+"/estimate?workload=spmm&repeats=1", "text/plain", bytes.NewReader(body))
+				resp, err := client.Post(base+"/estimate?workload=spmm&repeats=1", "text/plain", bytes.NewReader(body))
 				ms := float64(time.Since(t0).Microseconds()) / 1e3
 				if err != nil {
 					errs.Add(1)
@@ -343,6 +382,7 @@ func runBench(ctx context.Context, g *cluster.Gateway, c config, logger *slog.Lo
 		return latencies[i]
 	}
 	retries, hedges, _ := g.Metrics().Counts()
+	shed, degraded, _ := g.Metrics().ResilienceCounts()
 	rep := benchReport{
 		Requests:    c.benchN,
 		Concurrency: c.benchConc,
@@ -355,6 +395,9 @@ func runBench(ctx context.Context, g *cluster.Gateway, c config, logger *slog.Lo
 		P99MS:       pct(0.99),
 		Retries:     retries,
 		Hedges:      hedges,
+		Shed:        shed,
+		Degraded:    degraded,
+		TimeoutMS:   float64(c.benchTimeout.Microseconds()) / 1e3,
 	}
 	if elapsed > 0 {
 		rep.ThroughputS = float64(len(latencies)) / elapsed.Seconds()

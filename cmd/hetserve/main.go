@@ -13,7 +13,17 @@
 // Optional /estimate query parameters: seed (default 42), repeats
 // (default 3), searcher (exhaustive | coarse-to-fine | gradient |
 // race; default depends on workload), timeout (e.g. 500ms, capped by
-// -timeout).
+// -timeout). Requests carrying an X-Deadline-Ms header (stamped by
+// hetgate from its remaining client budget) are bounded by that budget
+// too, and shed with 504 when the budget cannot fit any work.
+//
+// Overload protection: -admission caps the total estimated evaluation
+// cost in flight, -admission-queue bounds the LIFO wait stack in front
+// of it; beyond both, requests are shed with 429 + Retry-After, or —
+// with -degrade — answered from a stale cache entry or the static
+// fallback threshold, marked "degraded":true. -faults injects
+// deterministic latency/errors/stalls for chaos testing (see
+// internal/resilience).
 //
 // Example:
 //
@@ -36,45 +46,65 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/serve"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent estimations")
-		par       = flag.Int("parallelism", 1, "concurrent threshold evaluations per pipeline (0 = GOMAXPROCS; results identical at any setting)")
-		cacheSize = flag.Int("cache", serve.DefaultCacheSize, "result cache capacity (0 disables)")
-		maxUpload = flag.Int64("max-upload", serve.DefaultMaxUpload, "max POST body bytes")
-		timeout   = flag.Duration("timeout", serve.DefaultMaxTimeout, "per-request deadline cap")
-		verbose   = flag.Bool("v", false, "log per-request trace summaries")
-		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
-		pprof     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent estimations")
+		par        = flag.Int("parallelism", 1, "concurrent threshold evaluations per pipeline (0 = GOMAXPROCS; results identical at any setting)")
+		cacheSize  = flag.Int("cache", serve.DefaultCacheSize, "result cache capacity (0 disables)")
+		maxUpload  = flag.Int64("max-upload", serve.DefaultMaxUpload, "max POST body bytes")
+		timeout    = flag.Duration("timeout", serve.DefaultMaxTimeout, "per-request deadline cap")
+		admission  = flag.Int64("admission", 0, "admission capacity in evaluation-cost units (0 = default)")
+		admissionQ = flag.Int("admission-queue", 0, "requests that may wait for admission before shedding with 429 (0 = default, negative = never queue)")
+		degrade    = flag.Bool("degrade", false, "on shed, serve a stale cache entry or static-fallback threshold (marked degraded) instead of 429")
+		staleAfter = flag.Duration("stale-after", 0, "age after which cache entries are served stale while revalidating in the background (0 = never)")
+		faults     = flag.String("faults", "", "fault-injection rules, e.g. 'latency=200ms;errors=0.3' (chaos testing; empty disables)")
+		faultsSeed = flag.Int64("faults-seed", 1, "seed for the fault-injection RNG (same seed + traffic = same faults)")
+		faultIdx   = flag.Int("fault-backend", 0, "this replica's backend index for fault-rule matching")
+		verbose    = flag.Bool("v", false, "log per-request trace summaries")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		pprof      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *workers, *par, *cacheSize, *maxUpload, *timeout, *verbose, *logJSON, *pprof); err != nil {
+	inject, err := resilience.ParseFaults(*faults, *faultsSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetserve:", err)
+		os.Exit(1)
+	}
+	cfg := serve.Config{
+		Workers:        *workers,
+		Parallelism:    *par,
+		CacheSize:      *cacheSize,
+		MaxUploadBytes: *maxUpload,
+		MaxTimeout:     *timeout,
+		AdmissionLimit: *admission,
+		AdmissionQueue: *admissionQ,
+		DegradeOnShed:  *degrade,
+		StaleAfter:     *staleAfter,
+		Faults:         inject,
+		FaultBackend:   *faultIdx,
+		Verbose:        *verbose,
+		EnablePprof:    *pprof,
+	}
+	if err := run(*addr, cfg, *logJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "hetserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, parallelism, cacheSize int, maxUpload int64, timeout time.Duration, verbose, logJSON, pprof bool) error {
+func run(addr string, cfg serve.Config, logJSON bool) error {
 	level := slog.LevelInfo
-	if verbose {
+	if cfg.Verbose {
 		level = slog.LevelDebug
 	}
 	logger := obs.NewLogger(os.Stderr, "hetserve", level, logJSON)
-	s := serve.New(serve.Config{
-		Workers:        workers,
-		Parallelism:    parallelism,
-		CacheSize:      cacheSize,
-		MaxUploadBytes: maxUpload,
-		MaxTimeout:     timeout,
-		Verbose:        verbose,
-		Logger:         logger,
-		EnablePprof:    pprof,
-	})
+	cfg.Logger = logger
+	s := serve.New(cfg)
 
 	srv := &http.Server{
 		Addr:    addr,
@@ -85,8 +115,8 @@ func run(addr string, workers, parallelism, cacheSize int, maxUpload int64, time
 		// slowloris-style connection exhaustion before a body is ever
 		// accepted.
 		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       timeout + 30*time.Second,
-		WriteTimeout:      timeout + 10*time.Second,
+		ReadTimeout:       cfg.MaxTimeout + 30*time.Second,
+		WriteTimeout:      cfg.MaxTimeout + 10*time.Second,
 		MaxHeaderBytes:    1 << 20,
 	}
 
@@ -97,9 +127,12 @@ func run(addr string, workers, parallelism, cacheSize int, maxUpload int64, time
 	go func() {
 		logger.Info("listening",
 			slog.String("addr", addr),
-			slog.Int("workers", workers),
-			slog.Int("cache", cacheSize),
-			slog.Bool("pprof", pprof))
+			slog.Int("workers", cfg.Workers),
+			slog.Int("cache", cfg.CacheSize),
+			slog.Int64("admission", s.Admission().Limit()),
+			slog.Bool("degrade", cfg.DegradeOnShed),
+			slog.Bool("faults", cfg.Faults != nil),
+			slog.Bool("pprof", cfg.EnablePprof))
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -108,7 +141,12 @@ func run(addr string, workers, parallelism, cacheSize int, maxUpload int64, time
 		return err
 	case <-ctx.Done():
 	}
-	logger.Info("shutting down", slog.Float64("cache_hit_ratio", s.Metrics().CacheHitRatio()))
+	shed, degraded, _, deadlines := s.Metrics().ResilienceCounts()
+	logger.Info("shutting down",
+		slog.Float64("cache_hit_ratio", s.Metrics().CacheHitRatio()),
+		slog.Uint64("shed", shed),
+		slog.Uint64("degraded", degraded),
+		slog.Uint64("deadline_exceeded", deadlines))
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

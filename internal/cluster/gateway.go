@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/flight"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/serve"
 )
 
@@ -86,6 +87,12 @@ type Config struct {
 	// EnablePprof registers net/http/pprof under /debug/pprof/.
 	// Off by default: profiling endpoints expose heap contents.
 	EnablePprof bool
+	// Faults wraps the upstream client with deterministic fault
+	// injection (chaos testing). Rule backend indexes refer to positions
+	// in Backends; nil disables. Wrapping the transport rather than the
+	// backends means embedded and remote clusters are faulted the same
+	// way.
+	Faults *resilience.Faults
 }
 
 // DefaultSeed seeds the backoff-jitter RNG when Config.Seed is zero.
@@ -165,13 +172,29 @@ func New(cfg Config) (*Gateway, error) {
 	if g.client == nil {
 		g.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
 	}
-	for _, b := range cfg.Backends {
+	backendIndex := make(map[string]int, len(cfg.Backends))
+	for i, b := range cfg.Backends {
 		u := strings.TrimRight(b, "/")
 		if _, err := url.Parse(u); err != nil || u == "" {
 			return nil, fmt.Errorf("cluster: bad backend URL %q", b)
 		}
 		g.ring.Add(u)
 		g.breakers[u] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		backendIndex[hostKey(u)] = i
+	}
+	if cfg.Faults != nil {
+		// Wrap a copy of the client so a caller-supplied Client is not
+		// mutated. Fault rules address backends by their position in
+		// cfg.Backends; requests to anything else (never the case today)
+		// match only backend=* rules.
+		wrapped := *g.client
+		wrapped.Transport = cfg.Faults.Transport(g.client.Transport, func(r *http.Request) int {
+			if i, ok := backendIndex[r.URL.Scheme+"://"+r.URL.Host]; ok {
+				return i
+			}
+			return -1
+		})
+		g.client = &wrapped
 	}
 	g.metrics.breakerStates = g.BreakerStates
 	// The proxied routes get the full middleware (request IDs, gateway
@@ -335,6 +358,7 @@ type upstreamResult struct {
 	contentType string
 	body        []byte
 	backend     string
+	degraded    bool
 }
 
 func writeUpstream(w http.ResponseWriter, res *upstreamResult) {
@@ -342,6 +366,9 @@ func writeUpstream(w http.ResponseWriter, res *upstreamResult) {
 		w.Header().Set("Content-Type", res.contentType)
 	}
 	w.Header().Set("X-Hetgate-Backend", res.backend)
+	if res.degraded {
+		w.Header().Set(serve.DegradedHeader, "true")
+	}
 	w.WriteHeader(res.status)
 	w.Write(res.body)
 }
@@ -424,6 +451,7 @@ func (g *Gateway) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		code := http.StatusBadGateway
 		if errors.Is(err, context.DeadlineExceeded) {
 			code = http.StatusGatewayTimeout
+			g.metrics.DeadlineExceeded()
 		}
 		g.logger.ErrorContext(r.Context(), "estimate failed",
 			slog.String("method", r.Method),
@@ -493,6 +521,12 @@ func (g *Gateway) forward(ctx context.Context, method, rawQuery string, body []b
 			if err := sleepCtx(ctx, g.backoff(attempt)); err != nil {
 				return nil, fmt.Errorf("%w (last error: %v)", err, lastErr)
 			}
+		}
+		if rem, ok := resilience.Remaining(ctx); ok && rem < resilience.MinBudget {
+			// Not enough budget left for a backend to do any work:
+			// dispatching another attempt only manufactures late answers.
+			return nil, fmt.Errorf("%w: budget %v below minimum %v (last error: %v)",
+				context.DeadlineExceeded, rem, resilience.MinBudget, lastErr)
 		}
 		backend, ok := pick()
 		if !ok {
@@ -592,10 +626,12 @@ func (g *Gateway) tryHedged(ctx context.Context, primary string, pick func() (st
 }
 
 // do performs one upstream HTTP call and feeds the backend's breaker:
-// transport errors and 5xx answers count as failures, everything else
-// (including 4xx — the backend is healthy, the request is bad) as
-// success. Cancellation by a winning hedge is not held against the
-// backend.
+// transport errors, 5xx answers and 429 sheds count as failures,
+// everything else (including other 4xx — the backend is healthy, the
+// request is bad) as success. Cancellation by a winning hedge is not
+// held against the backend. The remaining ctx budget is stamped on the
+// request as X-Deadline-Ms, so each retry or hedge hands the backend a
+// naturally smaller budget and late work is cancelled server-side.
 func (g *Gateway) do(ctx context.Context, backend, method, path, rawQuery string, body []byte) (*upstreamResult, error) {
 	u := backend + path
 	if rawQuery != "" {
@@ -620,6 +656,9 @@ func (g *Gateway) do(ctx context.Context, backend, method, path, rawQuery string
 	// Propagate the trace and request identity so the backend's spans
 	// join this trace instead of starting their own.
 	obs.Inject(ctx, req.Header)
+	if rem, ok := resilience.Remaining(ctx); ok {
+		resilience.SetBudget(req.Header, rem)
+	}
 	start := time.Now()
 	resp, err := g.client.Do(req)
 	if err != nil {
@@ -644,18 +683,47 @@ func (g *Gateway) do(ctx context.Context, backend, method, path, rawQuery string
 	}
 	g.metrics.Upstream(backend, resp.StatusCode, time.Since(start))
 	sp.SetAttr("http.status", strconv.Itoa(resp.StatusCode))
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// The backend shed us: count it, feed the breaker (a backend
+		// shedding every request should stop receiving traffic), and
+		// fail the attempt so forward retries the next replica.
+		g.metrics.Shed(backend)
+		g.breaker(backend).Record(false)
+		sp.SetAttr("shed", "true")
+		return fail(fmt.Errorf("backend %s: shed (HTTP 429): %s", backend, firstLine(b)))
+	}
 	if resp.StatusCode >= 500 {
 		g.breaker(backend).Record(false)
 		return fail(fmt.Errorf("backend %s: HTTP %d: %s", backend, resp.StatusCode, firstLine(b)))
 	}
 	g.breaker(backend).Record(true)
-	sp.Finish()
-	return &upstreamResult{
+	res := &upstreamResult{
 		status:      resp.StatusCode,
 		contentType: resp.Header.Get("Content-Type"),
 		body:        b,
 		backend:     backend,
-	}, nil
+	}
+	if resp.Header.Get(serve.DegradedHeader) != "" {
+		// A degraded answer (stale cache or static fallback served under
+		// shed) still counts as success, but separately — the chaos gate
+		// asserts degraded responses are not hidden inside the success
+		// rate.
+		res.degraded = true
+		g.metrics.Degraded(backend)
+		sp.SetAttr("degraded", "true")
+	}
+	sp.Finish()
+	return res, nil
+}
+
+// hostKey reduces a backend base URL to the scheme://host form the
+// fault transport sees on outgoing requests.
+func hostKey(backend string) string {
+	u, err := url.Parse(backend)
+	if err != nil {
+		return backend
+	}
+	return u.Scheme + "://" + u.Host
 }
 
 func firstLine(b []byte) string {

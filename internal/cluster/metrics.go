@@ -29,6 +29,9 @@ type Metrics struct {
 	hedges    uint64
 	coalesced uint64
 	probes    map[string]uint64 // key: backend + "\x00" + "ok"|"fail"
+	shed      map[string]uint64 // key: backend (429 answers from it)
+	degraded  map[string]uint64 // key: backend (degraded-but-usable answers)
+	deadlines uint64            // requests that ran out of budget end to end
 	started   time.Time
 
 	// breakerStates reports live breaker positions at scrape time; set
@@ -42,6 +45,8 @@ func NewMetrics() *Metrics {
 		upstream:  make(map[string]uint64),
 		latencies: make(map[string]*obs.Histogram),
 		probes:    make(map[string]uint64),
+		shed:      make(map[string]uint64),
+		degraded:  make(map[string]uint64),
 		started:   time.Now(),
 	}
 }
@@ -98,11 +103,49 @@ func (m *Metrics) Probe(backend string, ok bool) {
 	m.mu.Unlock()
 }
 
+// Shed records one 429 answer from backend — its admission controller
+// refused the request.
+func (m *Metrics) Shed(backend string) {
+	m.mu.Lock()
+	m.shed[backend]++
+	m.mu.Unlock()
+}
+
+// Degraded records one degraded-but-usable answer from backend (stale
+// cache entry or static-fallback threshold served under shed).
+func (m *Metrics) Degraded(backend string) {
+	m.mu.Lock()
+	m.degraded[backend]++
+	m.mu.Unlock()
+}
+
+// DeadlineExceeded records one client request that exhausted its
+// deadline budget across all retries and hedges.
+func (m *Metrics) DeadlineExceeded() {
+	m.mu.Lock()
+	m.deadlines++
+	m.mu.Unlock()
+}
+
 // Counts returns the retry/hedge/coalesce totals (tests, bench).
 func (m *Metrics) Counts() (retries, hedges, coalesced uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.retries, m.hedges, m.coalesced
+}
+
+// ResilienceCounts returns the shed/degraded/deadline totals summed
+// over backends (tests, bench).
+func (m *Metrics) ResilienceCounts() (shed, degraded, deadlines uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, v := range m.shed {
+		shed += v
+	}
+	for _, v := range m.degraded {
+		degraded += v
+	}
+	return shed, degraded, m.deadlines
 }
 
 // WriteTo renders the registry in the Prometheus text format.
@@ -134,6 +177,39 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	}
 	if err := p("# HELP hetgate_coalesced_total Requests coalesced into an identical in-flight upstream call.\n# TYPE hetgate_coalesced_total counter\nhetgate_coalesced_total %d\n", m.coalesced); err != nil {
 		return n, err
+	}
+
+	var shedTotal, degradedTotal uint64
+	for _, v := range m.shed {
+		shedTotal += v
+	}
+	for _, v := range m.degraded {
+		degradedTotal += v
+	}
+	if err := p("# HELP hetgate_shed_total Requests shed (HTTP 429) by backends.\n# TYPE hetgate_shed_total counter\nhetgate_shed_total %d\n", shedTotal); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetgate_degraded_total Degraded-but-usable answers (stale or fallback) from backends.\n# TYPE hetgate_degraded_total counter\nhetgate_degraded_total %d\n", degradedTotal); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetgate_deadline_exceeded_total Client requests that exhausted their deadline budget.\n# TYPE hetgate_deadline_exceeded_total counter\nhetgate_deadline_exceeded_total %d\n", m.deadlines); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetgate_shed_by_backend_total Requests shed (HTTP 429), by backend.\n# TYPE hetgate_shed_by_backend_total counter\n"); err != nil {
+		return n, err
+	}
+	for _, k := range sortedKeys(m.shed) {
+		if err := p("hetgate_shed_by_backend_total{backend=%q} %d\n", k, m.shed[k]); err != nil {
+			return n, err
+		}
+	}
+	if err := p("# HELP hetgate_degraded_by_backend_total Degraded answers, by backend.\n# TYPE hetgate_degraded_by_backend_total counter\n"); err != nil {
+		return n, err
+	}
+	for _, k := range sortedKeys(m.degraded) {
+		if err := p("hetgate_degraded_by_backend_total{backend=%q} %d\n", k, m.degraded[k]); err != nil {
+			return n, err
+		}
 	}
 
 	if err := p("# HELP hetgate_health_probes_total Health-prober outcomes by backend.\n# TYPE hetgate_health_probes_total counter\n"); err != nil {

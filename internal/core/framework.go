@@ -172,6 +172,12 @@ func (e *evalTracker) eval(t float64) (time.Duration, error) {
 // is the only place searches call Workload.Evaluate, so the in-flight
 // gauge counts sequential and parallel evaluations alike.
 func (e *evalTracker) evaluateRaw(t float64) (time.Duration, error) {
+	if err := e.ctx.Err(); err != nil {
+		// Every evaluation is bracketed by this check, so a search whose
+		// deadline (possibly propagated from a gateway budget) expires
+		// overruns by at most the one evaluation already in flight.
+		return 0, err
+	}
 	if o := evalObserverFrom(e.ctx); o != nil {
 		o.EvalStarted()
 		defer o.EvalDone()

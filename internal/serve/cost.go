@@ -1,0 +1,59 @@
+package serve
+
+import "repro/internal/core"
+
+// searchCost estimates how many threshold evaluations an Identify
+// search will perform over the default [0, 100] range, times the
+// repeat count — the admission controller's cost unit. It mirrors each
+// searcher's grid arithmetic (including zero-value defaults) rather
+// than asking the searcher, because the estimate must be O(1) and
+// available before any workload is built. Precision is not the point:
+// admission only needs exhaustive(step=1)×9 to look ~30× dearer than
+// race-then-fine×1, which this delivers.
+func searchCost(s core.Searcher, repeats int) int64 {
+	if repeats < 1 {
+		repeats = 1
+	}
+	span := 100.0
+	var per float64
+	switch t := s.(type) {
+	case core.Exhaustive:
+		step := t.Step
+		if step <= 0 {
+			step = 1
+		}
+		per = span/step + 1
+	case core.CoarseToFine:
+		coarse, fine := t.Coarse, t.Fine
+		if coarse <= 0 {
+			coarse = 8
+		}
+		if fine <= 0 {
+			fine = 1
+		}
+		per = (span/coarse + 1) + (2*coarse/fine + 1)
+	case core.RaceThenFine:
+		window, fine := t.Window, t.Fine
+		if window <= 0 {
+			window = 10
+		}
+		if fine <= 0 {
+			fine = 1
+		}
+		per = 2*window/fine + 2 // fine sweep + the race itself
+	case core.GradientDescent:
+		// Two probes per step level plus a handful of moves; the
+		// descent halves its step until it reaches Fine, so the level
+		// count is logarithmic and a small constant bound is honest.
+		per = 16
+	default:
+		// Unknown strategy: assume the worst in-tree cost so admission
+		// errs toward shedding, not over-committing.
+		per = span + 1
+	}
+	cost := int64(per) * int64(repeats)
+	if cost < 1 {
+		cost = 1
+	}
+	return cost
+}

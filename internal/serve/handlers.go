@@ -18,6 +18,7 @@ import (
 	"repro/internal/hetsim"
 	"repro/internal/mmio"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/sparse"
 )
 
@@ -48,8 +49,32 @@ type EstimateResponse struct {
 	// Coalesced reports whether this answer was computed by an
 	// identical concurrent request's pipeline run (singleflight).
 	Coalesced bool `json:"coalesced"`
+	// Stale reports a cache entry older than Config.StaleAfter, served
+	// immediately while a background revalidation refreshes it.
+	Stale bool `json:"stale,omitempty"`
+	// Degraded marks a graceful-degradation answer: the request was
+	// shed under overload and answered from a stale cache entry or the
+	// NaiveStatic fallback instead of a fresh pipeline run.
+	Degraded bool `json:"degraded,omitempty"`
 	// WallMS is the server-side handling time of this request.
 	WallMS float64 `json:"wall_ms"`
+}
+
+// DegradedHeader marks degraded responses so the gateway (and clients)
+// can count them without parsing the JSON body.
+const DegradedHeader = "X-Hetserve-Degraded"
+
+// cacheEntry is what the result cache stores: the response plus its
+// birth time, which drives the stale-while-revalidate policy.
+type cacheEntry struct {
+	resp EstimateResponse
+	at   time.Time
+}
+
+// stale reports whether a cache entry born at "at" has outlived
+// Config.StaleAfter (0 disables staleness).
+func (s *Server) stale(at time.Time) bool {
+	return s.cfg.StaleAfter > 0 && time.Since(at) > s.cfg.StaleAfter
 }
 
 type httpError struct {
@@ -73,13 +98,16 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	done := s.metrics.RequestStarted(workload)
 	code := http.StatusOK
 
-	resp, err := s.estimate(w, r, workload)
+	resp, err := s.estimate(w, r, workload, start)
 	if err != nil {
 		var he *httpError
 		if errors.As(err, &he) {
 			code = he.code
 		} else {
 			code = statusFor(err)
+		}
+		if code == http.StatusGatewayTimeout && errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.DeadlineExceeded()
 		}
 		s.logger.ErrorContext(r.Context(), "estimate failed",
 			slog.String("method", r.Method),
@@ -96,8 +124,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 }
 
 // estimate parses the request, consults the cache, and runs the
-// pipeline under the worker pool on a miss.
-func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload string) (*EstimateResponse, error) {
+// pipeline under the worker pool on a miss. start is the request's
+// arrival time: deadline budgets count from there, so time spent
+// reading and fingerprinting an upload is charged against the budget
+// exactly as the caller experiences it.
+func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload string, start time.Time) (*EstimateResponse, error) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		return nil, &httpError{code: http.StatusMethodNotAllowed, err: fmt.Errorf("method %s not allowed", r.Method)}
 	}
@@ -158,6 +189,19 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 		input, key = name, "dataset:"+name
 	}
 
+	// Validated before the cache lookup so a malformed ?timeout= or
+	// deadline header 400s loudly even when a cached answer exists. A
+	// *well-formed but too-small* budget (the 504 below) is deferred
+	// until after the lookup: a cache hit answers instantly, which
+	// satisfies any budget.
+	timeout, terr := s.requestTimeout(r)
+	if terr != nil {
+		var he *httpError
+		if errors.As(terr, &he) && he.code == http.StatusBadRequest {
+			return nil, terr
+		}
+	}
+
 	cacheKey := strings.Join([]string{
 		key, workload, searcher.Name(),
 		strconv.FormatUint(seed, 10), strconv.Itoa(repeats),
@@ -167,17 +211,28 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 	cspan.SetAttr("hit", strconv.FormatBool(hit))
 	cspan.Finish()
 	if hit {
-		s.metrics.CacheHit()
-		resp := v.(EstimateResponse) // copy; Cached/WallMS are per-request
+		e := v.(cacheEntry)
+		resp := e.resp // copy; Cached/Stale/WallMS are per-request
 		resp.Cached = true
+		s.metrics.CacheHit()
+		if !s.stale(e.at) {
+			return &resp, nil
+		}
+		// Stale-while-revalidate: answer from the stale entry now and
+		// refresh it off the request path. The refresh goes through the
+		// same singleflight and admission gates as a foreground miss,
+		// so a thundering herd of stale hits buys exactly one pipeline
+		// run — and none at all under overload.
+		s.metrics.StaleServed()
+		resp.Stale = true
+		s.revalidate(cacheKey, workload, input, body, searcher, seed, repeats)
 		return &resp, nil
 	}
 
-	// Validated before coalescing: a malformed ?timeout= must 400 this
-	// request alone, not a herd it would otherwise lead.
-	timeout, err := s.requestTimeout(r)
-	if err != nil {
-		return nil, badRequest("%v", err)
+	// Cache miss: a budget too small to fit any work fails fast now
+	// (504), before joining a flight it could never wait out.
+	if terr != nil {
+		return nil, terr
 	}
 
 	// Coalesce on the cache key: concurrent identical requests share
@@ -187,11 +242,23 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 	// singleflight trade and estimation results are request-agnostic.
 	v, err, leader := s.flight.Do(cacheKey, func() (any, error) {
 		s.metrics.CacheMiss()
-		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		// Anchored at arrival, not here: with a propagated budget this
+		// server must give up strictly before its caller does, even when
+		// reading the upload ate a slice of the budget already.
+		ctx, cancel := context.WithDeadline(r.Context(), start.Add(timeout))
 		defer cancel()
 		return s.runPipeline(ctx, cacheKey, workload, input, body, searcher, seed, repeats)
 	})
 	if err != nil {
+		if errors.Is(err, resilience.ErrOverloaded) {
+			if resp, ok := s.shedFallback(w, cacheKey, workload, input, searcher, seed); ok {
+				return resp, nil
+			}
+			// No degraded answer available: shed honestly with
+			// backpressure advice scaled to the backlog.
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int(s.admission.RetryAfter().Round(time.Second).Seconds())))
+		}
 		return nil, err
 	}
 	resp := *(v.(*EstimateResponse)) // copy; Coalesced/WallMS are per-request
@@ -205,14 +272,90 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 	return &resp, nil
 }
 
+// shedFallback builds the graceful-degradation answer for a shed
+// request: a (possibly stale) cache entry when one exists, otherwise —
+// when Config.DegradeOnShed allows — the platform's NaiveStatic
+// threshold. Both are marked "degraded":true, and the response header
+// lets the gateway count degraded answers without parsing bodies.
+func (s *Server) shedFallback(w http.ResponseWriter, cacheKey, workload, input string, searcher core.Searcher, seed uint64) (*EstimateResponse, bool) {
+	if !s.cfg.DegradeOnShed {
+		return nil, false
+	}
+	var resp EstimateResponse
+	if v, ok := s.cache.Get(cacheKey); ok {
+		// Only a stale entry can reach here — a fresh one was served
+		// before admission — but any cached estimate beats a static
+		// guess.
+		e := v.(cacheEntry)
+		resp = e.resp
+		resp.Cached = true
+		resp.Stale = s.stale(e.at)
+	} else {
+		// NaiveStatic: the paper's static-split baseline — the
+		// platform's relative device speeds decide the split, no
+		// sampling at all. Crude, but O(1) and always available.
+		resp = EstimateResponse{
+			Workload:  workload,
+			Input:     input,
+			Searcher:  "naive-static(fallback)",
+			Seed:      seed,
+			Threshold: 100 * s.platform.StaticCPUShare(),
+		}
+	}
+	resp.Degraded = true
+	s.metrics.Degraded()
+	w.Header().Set(DegradedHeader, "true")
+	return &resp, true
+}
+
+// revalidate refreshes a stale cache entry off the request path. The
+// background run is bounded by MaxTimeout, coalesces with any
+// in-flight run for the same key, and passes through admission — so
+// revalidation never competes unboundedly with foreground traffic.
+func (s *Server) revalidate(cacheKey, workload, input string, body []byte, searcher core.Searcher, seed uint64, repeats int) {
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaxTimeout)
+		defer cancel()
+		_, err, _ := s.flight.Do(cacheKey, func() (any, error) {
+			s.metrics.CacheMiss()
+			return s.runPipeline(ctx, cacheKey, workload, input, body, searcher, seed, repeats)
+		})
+		if err != nil && !errors.Is(err, resilience.ErrOverloaded) {
+			s.logger.Warn("stale revalidation failed",
+				slog.String("workload", workload),
+				slog.String("input", input),
+				slog.Any("err", err))
+		}
+	}()
+}
+
 // runPipeline executes the Sample → Identify → Extrapolate pipeline
-// for one cache miss: acquire a worker slot, build the workload, run
-// the estimation, and cache the result.
+// for one cache miss: pass admission, acquire a worker slot, build the
+// workload, run the estimation, and cache the result.
 func (s *Server) runPipeline(ctx context.Context, cacheKey, workload, input string, body []byte, searcher core.Searcher, seed uint64, repeats int) (*EstimateResponse, error) {
+	// Admission first: the controller bounds the total estimated cost
+	// (grid points × repeats) in flight and sheds instead of queuing
+	// unboundedly, so a flood of expensive requests turns into fast
+	// 429s rather than a deep queue of doomed work.
+	cost := searchCost(searcher, repeats)
+	_, aspan := obs.StartSpan(ctx, "admission.wait")
+	aspan.SetAttr("cost", strconv.FormatInt(cost, 10))
+	err := s.admission.Acquire(ctx, cost)
+	aspan.RecordError(err)
+	aspan.Finish()
+	if err != nil {
+		if errors.Is(err, resilience.ErrOverloaded) {
+			s.metrics.Shed()
+			return nil, err
+		}
+		return nil, fmt.Errorf("waiting for admission: %w", err)
+	}
+	defer s.admission.Release(cost)
+
 	// The pool bounds concurrent pipeline runs; waiters respect the
 	// request deadline, so a client that gives up never holds a slot.
 	_, pspan := obs.StartSpan(ctx, "pool.wait")
-	err := s.pool.Acquire(ctx)
+	err = s.pool.Acquire(ctx)
 	pspan.RecordError(err)
 	pspan.Finish()
 	if err != nil {
@@ -284,7 +427,7 @@ func (s *Server) runPipeline(ctx context.Context, cacheKey, workload, input stri
 	if overhead+runTime > 0 {
 		resp.OverheadPct = 100 * float64(overhead) / float64(overhead+runTime)
 	}
-	s.cache.Put(cacheKey, resp)
+	s.cache.Put(cacheKey, cacheEntry{resp: resp, at: time.Now()})
 	return &resp, nil
 }
 

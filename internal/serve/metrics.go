@@ -41,9 +41,29 @@ type Metrics struct {
 	latencies   map[string]*obs.Histogram // key: workload
 	started     time.Time
 
+	// Overload-protection accounting (internal/resilience): requests
+	// shed by admission control, degraded fallback answers, stale
+	// cache entries served while revalidating, and requests that
+	// exceeded their (propagated) deadline.
+	shed             uint64
+	degraded         uint64
+	staleServed      uint64
+	deadlineExceeded uint64
+
 	// cacheStats reports live cache occupancy and evictions at scrape
 	// time; set by the Server that owns the LRU.
 	cacheStats func() CacheStats
+	// admissionStats reports the admission controller's live queue
+	// depth and cost occupancy at scrape time.
+	admissionStats func() AdmissionStats
+}
+
+// AdmissionStats is a point-in-time snapshot of the admission
+// controller, rendered at /metrics.
+type AdmissionStats struct {
+	QueueDepth int
+	CostInUse  int64
+	CostLimit  int64
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -108,6 +128,53 @@ func (m *Metrics) BuildHit() {
 func (m *Metrics) BuildMiss() {
 	m.mu.Lock()
 	m.buildMisses++
+	m.mu.Unlock()
+}
+
+// Shed records a request rejected by admission control.
+func (m *Metrics) Shed() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
+// Degraded records a graceful-degradation answer (stale cache entry or
+// NaiveStatic fallback served in place of a shed request).
+func (m *Metrics) Degraded() {
+	m.mu.Lock()
+	m.degraded++
+	m.mu.Unlock()
+}
+
+// StaleServed records a stale cache entry served while a background
+// revalidation refreshes it.
+func (m *Metrics) StaleServed() {
+	m.mu.Lock()
+	m.staleServed++
+	m.mu.Unlock()
+}
+
+// DeadlineExceeded records a request that ran out of its (propagated)
+// deadline budget.
+func (m *Metrics) DeadlineExceeded() {
+	m.mu.Lock()
+	m.deadlineExceeded++
+	m.mu.Unlock()
+}
+
+// ResilienceCounts returns the shed/degraded/stale/deadline totals
+// (tests).
+func (m *Metrics) ResilienceCounts() (shed, degraded, staleServed, deadlineExceeded uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shed, m.degraded, m.staleServed, m.deadlineExceeded
+}
+
+// SetAdmissionStats registers a callback reporting the admission
+// controller's live state, rendered at /metrics.
+func (m *Metrics) SetAdmissionStats(fn func() AdmissionStats) {
+	m.mu.Lock()
+	m.admissionStats = fn
 	m.mu.Unlock()
 }
 
@@ -213,6 +280,30 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	}
 	if err := p("# HELP hetserve_workload_build_misses_total Workload constructions that parsed and profiled the input.\n# TYPE hetserve_workload_build_misses_total counter\nhetserve_workload_build_misses_total %d\n", m.buildMisses); err != nil {
 		return n, err
+	}
+	if err := p("# HELP hetserve_shed_total Requests shed by admission control (429 or degraded fallback).\n# TYPE hetserve_shed_total counter\nhetserve_shed_total %d\n", m.shed); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetserve_degraded_total Graceful-degradation answers served in place of shed requests.\n# TYPE hetserve_degraded_total counter\nhetserve_degraded_total %d\n", m.degraded); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetserve_stale_served_total Stale cache entries served while revalidating in the background.\n# TYPE hetserve_stale_served_total counter\nhetserve_stale_served_total %d\n", m.staleServed); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetserve_deadline_exceeded_total Requests that ran out of their (propagated) deadline budget.\n# TYPE hetserve_deadline_exceeded_total counter\nhetserve_deadline_exceeded_total %d\n", m.deadlineExceeded); err != nil {
+		return n, err
+	}
+	if m.admissionStats != nil {
+		as := m.admissionStats()
+		if err := p("# HELP hetserve_admission_queue_depth Requests waiting for admission.\n# TYPE hetserve_admission_queue_depth gauge\nhetserve_admission_queue_depth %d\n", as.QueueDepth); err != nil {
+			return n, err
+		}
+		if err := p("# HELP hetserve_admission_cost_in_flight Estimated evaluation cost currently admitted.\n# TYPE hetserve_admission_cost_in_flight gauge\nhetserve_admission_cost_in_flight %d\n", as.CostInUse); err != nil {
+			return n, err
+		}
+		if err := p("# HELP hetserve_admission_cost_limit Admission capacity in evaluation-cost units.\n# TYPE hetserve_admission_cost_limit gauge\nhetserve_admission_cost_limit %d\n", as.CostLimit); err != nil {
+			return n, err
+		}
 	}
 	if err := p("# HELP hetserve_in_flight_requests Requests currently being handled.\n# TYPE hetserve_in_flight_requests gauge\nhetserve_in_flight_requests %d\n", m.inFlight.Load()); err != nil {
 		return n, err

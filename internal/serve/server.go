@@ -30,6 +30,7 @@ import (
 	"repro/internal/flight"
 	"repro/internal/hetsim"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // Config controls a Server.
@@ -64,6 +65,31 @@ type Config struct {
 	// EnablePprof registers net/http/pprof under /debug/pprof/.
 	// Off by default: profiling endpoints expose heap contents.
 	EnablePprof bool
+
+	// AdmissionLimit bounds the total estimated cost (grid points ×
+	// repeats) of pipeline runs in flight; <= 0 means
+	// resilience.DefaultAdmissionLimit. A request dearer than the whole
+	// limit still runs, alone.
+	AdmissionLimit int64
+	// AdmissionQueue bounds requests waiting for admission; beyond it
+	// requests are shed with 429. 0 means
+	// resilience.DefaultAdmissionQueue; negative disables queuing
+	// entirely (every over-capacity request sheds immediately).
+	AdmissionQueue int
+	// DegradeOnShed serves a degraded answer instead of 429 when a
+	// request is shed: a stale cache entry when one exists, otherwise
+	// the platform's NaiveStatic threshold, both marked
+	// "degraded":true.
+	DegradeOnShed bool
+	// StaleAfter ages result-cache entries: an entry older than this is
+	// served immediately (marked "stale":true) while a background
+	// revalidation refreshes it. <= 0 means entries never go stale.
+	StaleAfter time.Duration
+	// Faults wraps the HTTP handler with server-side fault injection
+	// (chaos testing); nil disables.
+	Faults *resilience.Faults
+	// FaultBackend is this replica's index for fault-rule matching.
+	FaultBackend int
 }
 
 // Defaults for Config zero values.
@@ -76,16 +102,18 @@ const (
 // Server is the hetserve HTTP daemon: estimation handlers plus the
 // pool, cache, metrics, span sink and logger they share.
 type Server struct {
-	cfg      Config
-	platform *hetsim.Platform
-	pool     *Pool
-	cache    *LRU
-	builds   *buildCache
-	flight   flight.Group
-	metrics  *Metrics
-	sink     *obs.Sink
-	logger   *slog.Logger
-	mux      *http.ServeMux
+	cfg       Config
+	platform  *hetsim.Platform
+	pool      *Pool
+	admission *resilience.Admission
+	cache     *LRU
+	builds    *buildCache
+	flight    flight.Group
+	metrics   *Metrics
+	sink      *obs.Sink
+	logger    *slog.Logger
+	mux       *http.ServeMux
+	handler   http.Handler
 }
 
 // New builds a Server from cfg.
@@ -99,21 +127,37 @@ func New(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = obs.NopLogger()
 	}
+	// The admission queue sits in front of the worker pool: 0 keeps the
+	// package default, negative means "shed instead of queuing at all".
+	queue := cfg.AdmissionQueue
+	if queue == 0 {
+		queue = resilience.DefaultAdmissionQueue
+	} else if queue < 0 {
+		queue = 0
+	}
 	s := &Server{
-		cfg:      cfg,
-		platform: cfg.Platform,
-		pool:     NewPool(cfg.Workers),
-		cache:    NewLRU(cfg.CacheSize),
-		builds:   newBuildCache(),
-		metrics:  NewMetrics(),
-		sink:     obs.NewSink(cfg.SpanCapacity),
-		logger:   cfg.Logger,
-		mux:      http.NewServeMux(),
+		cfg:       cfg,
+		platform:  cfg.Platform,
+		pool:      NewPool(cfg.Workers),
+		admission: resilience.NewAdmission(cfg.AdmissionLimit, queue),
+		cache:     NewLRU(cfg.CacheSize),
+		builds:    newBuildCache(),
+		metrics:   NewMetrics(),
+		sink:      obs.NewSink(cfg.SpanCapacity),
+		logger:    cfg.Logger,
+		mux:       http.NewServeMux(),
 	}
 	if s.platform == nil {
 		s.platform = hetsim.Default()
 	}
 	s.metrics.SetCacheStats(s.cache.Stats)
+	s.metrics.SetAdmissionStats(func() AdmissionStats {
+		return AdmissionStats{
+			QueueDepth: s.admission.Depth(),
+			CostInUse:  s.admission.InFlight(),
+			CostLimit:  s.admission.Limit(),
+		}
+	})
 	// The estimation routes get the full middleware (request IDs,
 	// server spans, request log lines); /healthz and /metrics stay
 	// bare so 2-second gateway probes don't flood the span ring.
@@ -126,17 +170,27 @@ func New(cfg Config) *Server {
 	if cfg.EnablePprof {
 		obs.RegisterPprof(s.mux)
 	}
+	s.handler = s.mux
+	if cfg.Faults != nil {
+		// Faults wrap the whole mux, health checks included: a stalled
+		// backend stalls its /healthz too, which is exactly what the
+		// gateway's prober and breakers must cope with.
+		s.handler = cfg.Faults.Handler(cfg.FaultBackend, s.mux)
+	}
 	return s
 }
 
 // Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Metrics exposes the registry (tests and the CLI's shutdown summary).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Pool exposes the worker pool (tests).
 func (s *Server) Pool() *Pool { return s.pool }
+
+// Admission exposes the admission controller (tests).
+func (s *Server) Admission() *resilience.Admission { return s.admission }
 
 // Sink exposes the span sink (tests, embedded clusters).
 func (s *Server) Sink() *obs.Sink { return s.sink }
@@ -160,21 +214,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // requestTimeout derives the handler deadline: the server-wide
-// maximum, optionally tightened by ?timeout=. It is validated before
-// singleflight coalescing so a malformed timeout 400s only its own
-// request, never a coalesced herd.
+// maximum, optionally tightened by ?timeout= and by the propagated
+// X-Deadline-Ms budget a gateway stamps on forwarded requests. It is
+// validated before the cache lookup and singleflight coalescing so a
+// malformed timeout 400s its own request — even one a cached answer
+// could have served — and never a coalesced herd.
 func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
 	timeout := s.cfg.MaxTimeout
 	if v := r.URL.Query().Get("timeout"); v != "" {
 		d, err := time.ParseDuration(v)
 		if err != nil {
-			return 0, fmt.Errorf("bad timeout %q: %w", v, err)
+			return 0, badRequest("bad timeout %q: %v", v, err)
 		}
 		if d <= 0 {
-			return 0, fmt.Errorf("timeout %q must be positive", v)
+			return 0, badRequest("timeout %q must be positive", v)
 		}
 		if d < timeout {
 			timeout = d
+		}
+	}
+	budget, ok, err := resilience.Budget(r.Header)
+	if err != nil {
+		return 0, badRequest("%v", err)
+	}
+	if ok {
+		// Shave a safety margin so this server's deadline fires before
+		// its caller's: the caller then receives a real 504 it can retry
+		// or degrade on, instead of abandoning a connection mid-answer.
+		budget = resilience.ShaveBudget(budget)
+		if budget < resilience.MinBudget {
+			// The caller's budget cannot fit even one evaluation:
+			// answering 504 now is cheaper than computing an estimate
+			// the caller has already abandoned. (handleEstimate counts
+			// the deadline_exceeded metric when this surfaces as 504.)
+			return 0, &httpError{code: http.StatusGatewayTimeout,
+				err: fmt.Errorf("propagated deadline budget %v below minimum %v: %w",
+					budget, resilience.MinBudget, context.DeadlineExceeded)}
+		}
+		if budget < timeout {
+			timeout = budget
 		}
 	}
 	return timeout, nil
@@ -183,6 +261,8 @@ func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
 // statusFor maps pipeline errors to HTTP status codes.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, resilience.ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
