@@ -1,0 +1,197 @@
+// Command benchdiff compares a freshly recorded BENCH_search.json
+// against the committed baseline and exits non-zero on regression.
+//
+//	go run ./cmd/benchdiff -baseline bench_baseline.json -current BENCH_search.json
+//
+// It is the CI gate for the parallel search engine, and it encodes the
+// lesson of the original broken gate: the first BENCH_search.json was
+// recorded at GOMAXPROCS=1, where sequential and parallel arms are the
+// same thing, so the "parallel no slower than sequential" check was
+// vacuously satisfiable while the engine was in fact slower on real
+// multi-core hosts. benchdiff therefore refuses outright — before any
+// per-case comparison — when either report was recorded on a single
+// core, or when the two reports were recorded at different GOMAXPROCS
+// (a mismatch makes every wall-clock ratio meaningless).
+//
+// Per-case checks, keyed by (searcher, workload, dataset):
+//
+//   - identical must be true in the current report: parallelism is
+//     never allowed to change a SearchResult.
+//   - speedup must not regress below baseline by more than
+//     -speedup-tolerance (fractional; wall-clock on shared CI runners
+//     is noisy, so the default leaves 30% headroom).
+//   - parallel allocations per evaluation must not regress beyond
+//     -alloc-slack over the baseline (absolute; the hot path is pinned
+//     near zero, so a small absolute slack is tighter than any ratio).
+//   - every baseline case must still be present: silently dropping a
+//     case is how coverage rots.
+//
+// -min-speedup additionally requires at least one current case with
+// sequential wall-clock >= -min-speedup-floor-ms to reach that speedup,
+// proving the parallel engine actually helps where evaluations are
+// expensive. Cheap-evaluation cases (microsecond searches dominated by
+// fixed overhead) are exempt from the floor, not from regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchCase struct {
+	Searcher                string  `json:"searcher"`
+	Workload                string  `json:"workload"`
+	Dataset                 string  `json:"dataset"`
+	Evals                   int     `json:"evals"`
+	SequentialMS            float64 `json:"sequential_ms"`
+	ParallelMS              float64 `json:"parallel_ms"`
+	Speedup                 float64 `json:"speedup"`
+	SequentialAllocsPerEval float64 `json:"sequential_allocs_per_eval"`
+	ParallelAllocsPerEval   float64 `json:"parallel_allocs_per_eval"`
+	Identical               bool    `json:"identical"`
+}
+
+type benchReport struct {
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	NumCPU      int         `json:"num_cpu"`
+	Parallelism int         `json:"parallelism"`
+	Cases       []benchCase `json:"cases"`
+}
+
+func (c benchCase) key() string {
+	return c.Searcher + "/" + c.Workload + "/" + c.Dataset
+}
+
+type gateConfig struct {
+	// SpeedupTolerance is the fractional speedup regression allowed
+	// per case relative to baseline (0.3 = current may be 30% below).
+	SpeedupTolerance float64
+	// AllocSlack is the absolute allocs-per-eval regression allowed
+	// in the parallel arm relative to baseline.
+	AllocSlack float64
+	// MinSpeedup must be reached by at least one case whose
+	// sequential wall-clock is at least MinSpeedupFloorMS.
+	MinSpeedup float64
+	// MinSpeedupFloorMS exempts cheap searches (dominated by fixed
+	// per-search overhead) from the MinSpeedup requirement.
+	MinSpeedupFloorMS float64
+}
+
+// diff returns every gate violation between baseline and current, in a
+// stable order. An empty slice means the gate passes.
+func diff(baseline, current benchReport, cfg gateConfig) []string {
+	var problems []string
+	fail := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	// Recording-environment checks come first: if these fail, the
+	// per-case numbers are not comparable and per-case output would
+	// only obscure the real problem.
+	if baseline.GOMAXPROCS <= 1 {
+		fail("baseline was recorded at GOMAXPROCS=%d: single-core recordings cannot measure parallel speedup and must never serve as a baseline; re-record with GOMAXPROCS>=4", baseline.GOMAXPROCS)
+	}
+	if current.GOMAXPROCS <= 1 {
+		fail("current report was recorded at GOMAXPROCS=%d: re-run the benchmark with GOMAXPROCS>=4", current.GOMAXPROCS)
+	}
+	if baseline.GOMAXPROCS != current.GOMAXPROCS {
+		fail("gomaxprocs mismatch: baseline %d vs current %d — wall-clock ratios are not comparable across different core counts", baseline.GOMAXPROCS, current.GOMAXPROCS)
+	}
+	if len(problems) > 0 {
+		return problems
+	}
+
+	baseByKey := map[string]benchCase{}
+	for _, c := range baseline.Cases {
+		baseByKey[c.key()] = c
+	}
+	curByKey := map[string]benchCase{}
+
+	bestSpeedup := 0.0
+	for _, cur := range current.Cases {
+		curByKey[cur.key()] = cur
+		if !cur.Identical {
+			fail("%s: parallel result differs from sequential (identical=false)", cur.key())
+		}
+		if cur.SequentialMS >= cfg.MinSpeedupFloorMS && cur.Speedup > bestSpeedup {
+			bestSpeedup = cur.Speedup
+		}
+		base, ok := baseByKey[cur.key()]
+		if !ok {
+			continue // new case, nothing to regress against
+		}
+		if floor := base.Speedup * (1 - cfg.SpeedupTolerance); cur.Speedup < floor {
+			fail("%s: speedup regressed to %.2fx from baseline %.2fx (floor %.2fx at tolerance %.0f%%)",
+				cur.key(), cur.Speedup, base.Speedup, floor, cfg.SpeedupTolerance*100)
+		}
+		if limit := base.ParallelAllocsPerEval + cfg.AllocSlack; cur.ParallelAllocsPerEval > limit {
+			fail("%s: parallel allocs/eval regressed to %.1f from baseline %.1f (limit %.1f)",
+				cur.key(), cur.ParallelAllocsPerEval, base.ParallelAllocsPerEval, limit)
+		}
+	}
+	for _, base := range baseline.Cases {
+		if _, ok := curByKey[base.key()]; !ok {
+			fail("%s: present in baseline but missing from current report", base.key())
+		}
+	}
+	if cfg.MinSpeedup > 0 && bestSpeedup < cfg.MinSpeedup {
+		fail("no case with sequential wall-clock >= %.0fms reached %.1fx speedup (best %.2fx): the parallel engine is not earning its keep",
+			cfg.MinSpeedupFloorMS, cfg.MinSpeedup, bestSpeedup)
+	}
+	return problems
+}
+
+func load(path string) (benchReport, error) {
+	var r benchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Cases) == 0 {
+		return r, fmt.Errorf("%s: report has no cases", path)
+	}
+	return r, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline BENCH_search.json (required)")
+	currentPath := flag.String("current", "", "freshly recorded BENCH_search.json (required)")
+	cfg := gateConfig{}
+	flag.Float64Var(&cfg.SpeedupTolerance, "speedup-tolerance", 0.30, "fractional per-case speedup regression allowed vs baseline")
+	flag.Float64Var(&cfg.AllocSlack, "alloc-slack", 8, "absolute parallel allocs-per-eval regression allowed vs baseline")
+	flag.Float64Var(&cfg.MinSpeedup, "min-speedup", 1.5, "speedup at least one expensive case must reach (0 disables)")
+	flag.Float64Var(&cfg.MinSpeedupFloorMS, "min-speedup-floor-ms", 5, "sequential wall-clock below which a case is exempt from -min-speedup")
+	flag.Parse()
+
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	problems := diff(baseline, current, cfg)
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d problem(s):\n", len(problems))
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "  -", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok — %d case(s) at gomaxprocs=%d, no regressions\n",
+		len(current.Cases), current.GOMAXPROCS)
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func goodCase() benchCase {
+	return benchCase{
+		Searcher:                "exhaustive(step=1)",
+		Workload:                "cc",
+		Dataset:                 "germany_osm",
+		Evals:                   101,
+		SequentialMS:            2700,
+		ParallelMS:              600,
+		Speedup:                 4.5,
+		SequentialAllocsPerEval: 1,
+		ParallelAllocsPerEval:   1,
+		Identical:               true,
+	}
+}
+
+func goodReport() benchReport {
+	return benchReport{GOMAXPROCS: 4, NumCPU: 4, Parallelism: 8, Cases: []benchCase{goodCase()}}
+}
+
+func defaultCfg() gateConfig {
+	return gateConfig{SpeedupTolerance: 0.30, AllocSlack: 8, MinSpeedup: 1.5, MinSpeedupFloorMS: 5}
+}
+
+// expectProblem runs diff and asserts exactly one problem mentioning
+// want; expectClean asserts no problems.
+func expectProblem(t *testing.T, baseline, current benchReport, want string) {
+	t.Helper()
+	problems := diff(baseline, current, defaultCfg())
+	if len(problems) == 0 {
+		t.Fatalf("expected a problem mentioning %q, got none", want)
+	}
+	for _, p := range problems {
+		if strings.Contains(p, want) {
+			return
+		}
+	}
+	t.Fatalf("no problem mentions %q; got %v", want, problems)
+}
+
+func expectClean(t *testing.T, baseline, current benchReport) {
+	t.Helper()
+	if problems := diff(baseline, current, defaultCfg()); len(problems) > 0 {
+		t.Fatalf("expected clean diff, got %v", problems)
+	}
+}
+
+func TestCleanDiffPasses(t *testing.T) {
+	expectClean(t, goodReport(), goodReport())
+}
+
+func TestSingleCoreBaselineIsHardFailure(t *testing.T) {
+	baseline := goodReport()
+	baseline.GOMAXPROCS = 1
+	// Even a flawless current report must not pass against a
+	// single-core baseline — this is the exact bug the gate had.
+	current := goodReport()
+	current.GOMAXPROCS = 1 // matching, so only the single-core check can save us
+	expectProblem(t, baseline, current, "single-core")
+}
+
+func TestGomaxprocsMismatchIsHardFailure(t *testing.T) {
+	current := goodReport()
+	current.GOMAXPROCS = 8
+	expectProblem(t, goodReport(), current, "gomaxprocs mismatch")
+}
+
+func TestEnvironmentFailureSuppressesCaseChecks(t *testing.T) {
+	baseline := goodReport()
+	baseline.GOMAXPROCS = 1
+	current := goodReport()
+	current.Cases[0].Identical = false // would fail per-case, must not be reported
+	problems := diff(baseline, current, defaultCfg())
+	for _, p := range problems {
+		if strings.Contains(p, "identical") {
+			t.Fatalf("per-case problem reported despite environment failure: %v", problems)
+		}
+	}
+}
+
+func TestNonIdenticalResultFails(t *testing.T) {
+	current := goodReport()
+	current.Cases[0].Identical = false
+	expectProblem(t, goodReport(), current, "identical=false")
+}
+
+func TestSpeedupRegressionFails(t *testing.T) {
+	current := goodReport()
+	current.Cases[0].Speedup = 2.0 // below 4.5 * 0.7 = 3.15
+	expectProblem(t, goodReport(), current, "speedup regressed")
+}
+
+func TestSpeedupWithinTolerancePasses(t *testing.T) {
+	current := goodReport()
+	current.Cases[0].Speedup = 3.5 // above the 3.15 floor
+	expectClean(t, goodReport(), current)
+}
+
+func TestAllocRegressionFails(t *testing.T) {
+	current := goodReport()
+	current.Cases[0].ParallelAllocsPerEval = 50 // baseline 1 + slack 8 = 9
+	expectProblem(t, goodReport(), current, "allocs/eval regressed")
+}
+
+func TestMissingBaselineCaseFails(t *testing.T) {
+	current := goodReport()
+	current.Cases = nil
+	extra := goodCase()
+	extra.Searcher = "coarse-to-fine(8→1)"
+	current.Cases = append(current.Cases, extra)
+	expectProblem(t, goodReport(), current, "missing from current")
+}
+
+func TestNewCaseWithoutBaselinePasses(t *testing.T) {
+	current := goodReport()
+	extra := goodCase()
+	extra.Searcher = "race-then-fine"
+	current.Cases = append(current.Cases, extra)
+	expectClean(t, goodReport(), current)
+}
+
+func TestMinSpeedupRequiresAnExpensiveWinner(t *testing.T) {
+	baseline := goodReport()
+	baseline.Cases[0].Speedup = 1.1
+	current := goodReport()
+	current.Cases[0].Speedup = 1.1 // no regression vs baseline, but never fast
+	expectProblem(t, baseline, current, "not earning its keep")
+}
+
+func TestMinSpeedupIgnoresCheapCases(t *testing.T) {
+	// A microsecond-scale search cannot amortize fan-out overhead;
+	// its low speedup must not satisfy or trip the -min-speedup bar.
+	baseline := goodReport()
+	cheap := goodCase()
+	cheap.Searcher = "race-then-fine"
+	cheap.SequentialMS = 0.05
+	cheap.ParallelMS = 0.05
+	cheap.Speedup = 1.0
+	baseline.Cases = append(baseline.Cases, cheap)
+	current := goodReport()
+	current.Cases = append(current.Cases, cheap)
+	expectClean(t, baseline, current)
+}

@@ -158,8 +158,17 @@ func TestChaosDeadlinePropagation(t *testing.T) {
 	e, _, ts := startChaosCluster(t, 3, serve.Config{Workers: 4, CacheSize: 64},
 		func(c *Config) { c.UpstreamTimeout = budget })
 
-	// Expensive enough that the full estimation cannot fit the budget.
-	mtx := genMTX(t, 4000, 80000, 31)
+	// Expensive enough that the full estimation cannot fit the budget —
+	// sized for the zero-allocation profile construction, which handles
+	// the old 4000×80k input inside 250ms. Under the race detector that
+	// size stays: instrumentation already makes the estimation slow, and
+	// the larger input's upload would eat the whole budget during body
+	// parsing, before the estimation (and its deadline counter) begins.
+	n, nnz := 6000, 180000
+	if raceEnabled {
+		n, nnz = 4000, 80000
+	}
+	mtx := genMTX(t, n, nnz, 31)
 	const requests = 6
 	var wg sync.WaitGroup
 	overruns := make([]time.Duration, requests)
@@ -184,14 +193,19 @@ func TestChaosDeadlinePropagation(t *testing.T) {
 
 	// "At most one grid-point evaluation late": a single spmm evaluation
 	// on this input is tens of milliseconds, so a second of slack is the
-	// generous CI-proof version of that bound. What it must rule out is
-	// the old behavior — a backend grinding through the whole grid long
-	// after the deadline passed.
+	// generous CI-proof version of that bound (scaled up under the race
+	// detector, whose instrumentation slows body parsing and evaluation
+	// alike). What it must rule out is the old behavior — a backend
+	// grinding through the whole grid long after the deadline passed.
+	slack := time.Second
+	if raceEnabled {
+		slack = 4 * time.Second
+	}
 	for i, over := range overruns {
 		if statuses[i] != http.StatusGatewayTimeout {
 			t.Errorf("request %d: status %d, want 504 (budget cannot fit the estimation)", i, statuses[i])
 		}
-		if over > time.Second {
+		if over > slack {
 			t.Errorf("request %d overran its deadline by %v", i, over)
 		}
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports whether the race detector is compiled in; chaos
+// timing bounds scale up under its instrumentation overhead.
+const raceEnabled = true

@@ -136,10 +136,41 @@ type evalTracker struct {
 	seen  map[int64]EvalPoint // keyed by rounded micropercent
 	res   SearchResult
 	first bool
+	// curveBuf is the recycled backing array for res.Curve; result()
+	// hands callers a copy so the buffer can be reused.
+	curveBuf []EvalPoint
 }
 
+// trackerPool recycles trackers — and with them the memo map and the
+// curve buffer — across searches. A search's bookkeeping would
+// otherwise allocate more than the evaluations themselves (the
+// workload hot paths are allocation-free), which is what the bench
+// report's alloc-per-eval column tracks.
+var trackerPool = sync.Pool{New: func() any {
+	// Pre-size the memo and curve for a standard unit-step sweep
+	// (101 grid points plus refinement windows).
+	e := &evalTracker{seen: make(map[int64]EvalPoint, 128)}
+	e.curveBuf = make([]EvalPoint, 0, 128)
+	return e
+}}
+
 func newEvalTracker(ctx context.Context, w Workload) *evalTracker {
-	return &evalTracker{ctx: ctx, w: w, seen: make(map[int64]EvalPoint), first: true}
+	e := trackerPool.Get().(*evalTracker)
+	e.ctx, e.w = ctx, w
+	e.first = true
+	e.res = SearchResult{Curve: e.curveBuf[:0]}
+	return e
+}
+
+// release returns the tracker to the pool. Only result() calls it —
+// error paths abandon the tracker to the garbage collector, which
+// keeps the invariant that a pooled tracker is always clean.
+func (e *evalTracker) release() {
+	clear(e.seen)
+	e.curveBuf = e.res.Curve[:0]
+	e.ctx, e.w = nil, nil
+	e.res = SearchResult{}
+	trackerPool.Put(e)
 }
 
 // key buckets a threshold at micropercent resolution. math.Round keeps
@@ -212,19 +243,30 @@ func (e *evalTracker) commit(t float64, d time.Duration) time.Duration {
 	return d
 }
 
+// result finishes the search: it snapshots the bookkeeping (with a
+// caller-owned copy of the curve, since the internal buffer is
+// recycled) and releases the tracker. The tracker must not be used
+// after result returns.
 func (e *evalTracker) result() (SearchResult, error) {
 	if e.res.Evals == 0 {
 		return SearchResult{}, ErrNoEvaluations
 	}
-	return e.res, nil
+	res := e.res
+	res.Curve = append(make([]EvalPoint, 0, len(e.res.Curve)), e.res.Curve...)
+	e.release()
+	return res, nil
 }
 
 // sweep evaluates the grid lo, lo+step, ..., hi — concurrently when the
 // context allows (WithParallelism), always with sequential-identical
 // results. Grid construction and the fan-out/merge engine live in
-// parallel.go.
+// parallel.go; the grid itself is built into a recycled arena so a
+// sweep window costs no per-call grid allocation.
 func sweep(e *evalTracker, lo, hi, step float64) error {
-	return e.evalAll(gridPoints(lo, hi, step))
+	a := arenaPool.Get().(*evalArena)
+	defer arenaPool.Put(a)
+	a.grid = appendGridPoints(a.grid, lo, hi, step)
+	return e.evalWindow(a, a.grid)
 }
 
 // Exhaustive evaluates every threshold from lo to hi in steps of Step

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -306,5 +307,92 @@ func TestConfigParallelismOverridesContext(t *testing.T) {
 	}
 	if m := o.max.Load(); m > 1 {
 		t.Errorf("Config.Parallelism=1 ignored: %d evaluations in flight", m)
+	}
+}
+
+// failAtPoint fails at exactly one grid point, with a small
+// point-dependent delay so worker interleavings vary between runs.
+type failAtPoint struct {
+	failT float64
+	calls atomic.Int64
+}
+
+func (w *failAtPoint) Name() string { return "fail-at-point" }
+
+func (w *failAtPoint) Evaluate(t float64) (time.Duration, error) {
+	w.calls.Add(1)
+	time.Sleep(time.Duration(int(t)%5) * 10 * time.Microsecond)
+	if t == w.failT {
+		return 0, errors.New("injected failure")
+	}
+	return time.Second + time.Duration(t)*time.Millisecond, nil
+}
+
+// TestParallelFailureAtEveryIndex closes the stop/claim ordering audit
+// from the engine rewrite: whichever grid index fails — first, last, or
+// anywhere between — the parallel sweep must blame exactly the same
+// point as a sequential sweep, even though workers claim chunks, bail
+// early on stop, and may abandon claimed indices (the ordered commit
+// pass repairs such holes inline). The parallel sweep may evaluate
+// speculative later points, but never more than the grid size — each
+// index is claimed at most once and repair only fills true holes.
+func TestParallelFailureAtEveryIndex(t *testing.T) {
+	const hi = 40
+	for fail := 0; fail <= hi; fail++ {
+		seqW := &failAtPoint{failT: float64(fail)}
+		_, errSeq := Exhaustive{}.Search(WithParallelism(context.Background(), 1), seqW, 0, hi)
+		parW := &failAtPoint{failT: float64(fail)}
+		_, errPar := Exhaustive{}.Search(WithParallelism(context.Background(), 8), parW, 0, hi)
+		if errSeq == nil || errPar == nil {
+			t.Fatalf("fail@%d: errors not propagated: seq=%v par=%v", fail, errSeq, errPar)
+		}
+		if errSeq.Error() != errPar.Error() {
+			t.Errorf("fail@%d: parallel blames a different point\nseq: %v\npar: %v", fail, errSeq, errPar)
+		}
+		if n := parW.calls.Load(); n > hi+1 {
+			t.Errorf("fail@%d: %d Evaluate calls for a %d-point grid", fail, n, hi+1)
+		}
+	}
+}
+
+// TestConcurrentSearchesSharedPool: many goroutines search through the
+// shared persistent worker pool at once; every one must still match
+// its own sequential run bit for bit. This exercises stale batch
+// deliveries (a pool worker receiving a batch whose window already
+// finished) and the join/leave participant accounting.
+func TestConcurrentSearchesSharedPool(t *testing.T) {
+	const searches = 12
+	type outcome struct {
+		seq, par SearchResult
+		err      error
+	}
+	results := make([]outcome, searches)
+	var wg sync.WaitGroup
+	for i := 0; i < searches; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &plateauWorkload{opt: float64(i * 7 % 101), width: 3, delay: 20 * time.Microsecond}
+			seq, err := Exhaustive{}.Search(WithParallelism(context.Background(), 1), w, 0, 100)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			par, err := Exhaustive{}.Search(WithParallelism(context.Background(), 4), w, 0, 100)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			results[i].seq, results[i].par = seq, par
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("search %d: %v", i, r.err)
+		}
+		if !reflect.DeepEqual(r.seq, r.par) {
+			t.Errorf("search %d: parallel result differs under shared pool\nseq: %+v\npar: %+v", i, r.seq, r.par)
+		}
 	}
 }

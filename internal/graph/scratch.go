@@ -1,0 +1,257 @@
+package graph
+
+// CCScratch is the reusable working memory of one in-flight connected-
+// components kernel. The Into kernel variants (DFSInto, ParallelCPUInto,
+// ShiloachVishkinInto) draw every buffer they need from a scratch
+// instead of the heap, which is what makes a threshold evaluation in a
+// parallel Identify sweep allocation-free: each search worker owns one
+// scratch and reuses it across grid points.
+//
+// A scratch serves one kernel call at a time; the result's Labels alias
+// the scratch and stay valid only until its next use. The zero value is
+// ready to use.
+type CCScratch struct {
+	labels []int32
+	stack  []int32
+	active []Edge
+	old    []int32
+	uf     UnionFind
+	minOf  []int32
+}
+
+// labelsFor returns the scratch label buffer resized to n.
+func (s *CCScratch) labelsFor(n int) []int32 {
+	if cap(s.labels) < n {
+		s.labels = make([]int32, n)
+	}
+	s.labels = s.labels[:n]
+	return s.labels
+}
+
+func (s *CCScratch) oldFor(n int) []int32 {
+	if cap(s.old) < n {
+		s.old = make([]int32, n)
+	}
+	s.old = s.old[:n]
+	return s.old
+}
+
+func (s *CCScratch) minOfFor(n int) []int32 {
+	if cap(s.minOf) < n {
+		s.minOf = make([]int32, n)
+	}
+	s.minOf = s.minOf[:n]
+	return s.minOf
+}
+
+// DFSInto is DFS drawing its buffers from s. The result is written
+// into res (fully overwritten); res.Labels alias s.
+func DFSInto(g *Graph, res *CCResult, s *CCScratch) {
+	labels := s.labelsFor(g.N)
+	for v := range labels {
+		labels[v] = -1
+	}
+	*res = CCResult{Labels: labels}
+	if cap(s.stack) == 0 {
+		s.stack = make([]int32, 0, 1024)
+	}
+	stack := s.stack
+	for start := 0; start < g.N; start++ {
+		if labels[start] >= 0 {
+			continue
+		}
+		res.Components++
+		root := int32(start)
+		labels[start] = root
+		stack = append(stack[:0], root)
+		res.VerticesVisited++
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(int(u)) {
+				res.EdgesVisited++
+				if labels[w] < 0 {
+					labels[w] = root
+					res.VerticesVisited++
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	s.stack = stack[:0] // keep any growth for the next call
+}
+
+// ParallelCPUInto reproduces ParallelCPU's partitioned restricted-DFS
+// bit for bit while drawing all buffers from s. The parts are executed
+// one after another on the calling goroutine: each ParallelCPU worker
+// reads and writes labels only inside its own vertex range (cross-part
+// arcs are skipped and merged later), so the partial labelings are
+// independent and sequential execution yields the identical result.
+// Parallel Identify sweeps rely on this — the search engine already
+// saturates the machine across grid points, and nested per-evaluation
+// goroutine fan-out would only add scheduling overhead.
+func ParallelCPUInto(g *Graph, workers int, res *CCResult, s *CCScratch) {
+	if workers <= 1 || g.N < 2*workers {
+		DFSInto(g, res, s)
+		return
+	}
+	labels := s.labelsFor(g.N)
+	for v := range labels {
+		labels[v] = -1
+	}
+	*res = CCResult{Labels: labels}
+	if cap(s.stack) == 0 {
+		s.stack = make([]int32, 0, 1024)
+	}
+	stack := s.stack
+	for w := 0; w < workers; w++ {
+		lo := w * g.N / workers
+		hi := (w + 1) * g.N / workers
+		for start := lo; start < hi; start++ {
+			if labels[start] >= 0 {
+				continue
+			}
+			root := int32(start)
+			labels[start] = root
+			res.VerticesVisited++
+			stack = append(stack[:0], root)
+			for len(stack) > 0 {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, v := range g.Neighbors(int(u)) {
+					res.EdgesVisited++
+					if int(v) < lo || int(v) >= hi {
+						continue // cross-part edge; merged later
+					}
+					if labels[v] < 0 {
+						labels[v] = root
+						res.VerticesVisited++
+						stack = append(stack, v)
+					}
+				}
+			}
+		}
+	}
+	s.stack = stack[:0]
+
+	// Merge across part boundaries with union–find over the labels.
+	s.uf.Reset(g.N)
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			if labels[u] != labels[v] {
+				s.uf.Union(int(labels[u]), int(labels[v]))
+				res.EdgesVisited++
+			}
+		}
+	}
+	for v := range labels {
+		labels[v] = int32(s.uf.Find(int(labels[v])))
+	}
+	CanonicalizeMinLabelsInto(labels, s.minOfFor(g.N))
+	res.Components = NumComponents(labels)
+}
+
+// ShiloachVishkinInto is ShiloachVishkin drawing its buffers from s.
+func ShiloachVishkinInto(g *Graph, res *CCResult, s *CCScratch) {
+	parent := s.labelsFor(g.N)
+	for v := range parent {
+		parent[v] = int32(v)
+	}
+	*res = CCResult{Labels: parent}
+	if g.N == 0 {
+		return
+	}
+	active := s.active[:0]
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int32(u) < v {
+				active = append(active, Edge{U: int32(u), V: v})
+			}
+		}
+	}
+	old := s.oldFor(g.N)
+	for len(active) > 0 {
+		res.Rounds++
+		changed := false
+		copy(old, parent)
+		keep := active[:0]
+		for _, e := range active {
+			res.EdgesVisited++
+			pu, pv := old[e.U], old[e.V]
+			if pu == pv {
+				continue // converged; filtered from later rounds
+			}
+			keep = append(keep, e)
+			if pv < pu && old[pu] == pu {
+				if pv < parent[pu] {
+					parent[pu] = pv
+					changed = true
+				}
+			} else if pu < pv && old[pv] == pv {
+				if pu < parent[pv] {
+					parent[pv] = pu
+					changed = true
+				}
+			}
+		}
+		active = keep
+		copy(old, parent)
+		for v := 0; v < g.N; v++ {
+			res.VerticesVisited++
+			np := old[old[v]]
+			if np != parent[v] && np < parent[v] {
+				parent[v] = np
+				changed = true
+			}
+		}
+		if !changed && len(active) > 0 {
+			filtered := active[:0]
+			for _, e := range active {
+				if parent[e.U] != parent[e.V] {
+					filtered = append(filtered, e)
+				}
+			}
+			active = filtered
+			if len(active) > 0 {
+				break // cannot happen (see hooking invariant); guard against livelock
+			}
+		}
+	}
+	s.active = active[:0]
+	CanonicalizeMinLabelsInto(parent, s.minOfFor(g.N))
+	res.Components = NumComponents(parent)
+}
+
+// CanonicalizeMinLabelsInto rewrites labels so each component is
+// labeled by its minimum vertex id, using minOf (len(labels) entries)
+// as scratch. One ascending pass suffices: the first vertex to visit a
+// representative is the component's minimum. Exported for the
+// heterogeneous runners' merge phases, which canonicalize after their
+// own union–find pass.
+func CanonicalizeMinLabelsInto(labels, minOf []int32) {
+	for i := range minOf {
+		minOf[i] = -1
+	}
+	for v, l := range labels {
+		if minOf[l] < 0 {
+			minOf[l] = int32(v)
+		}
+		labels[v] = minOf[l]
+	}
+}
+
+// Reset reinitializes the forest to n singleton sets, reusing the
+// backing arrays when capacity allows.
+func (uf *UnionFind) Reset(n int) {
+	if cap(uf.parent) < n {
+		uf.parent = make([]int32, n)
+		uf.rank = make([]int8, n)
+	}
+	uf.parent = uf.parent[:n]
+	uf.rank = uf.rank[:n]
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	clear(uf.rank)
+	uf.Unions, uf.Finds = 0, 0
+}

@@ -64,67 +64,14 @@ type Result struct {
 }
 
 // Run executes Algorithm 1 on g with threshold t (the percentage of
-// vertices assigned to the CPU).
+// vertices assigned to the CPU). Each call uses its own working
+// memory, so the returned Result is independently owned; the sampling
+// adapter's Evaluate uses the pooled scratch path instead (runInto).
 func (a *Algorithm) Run(g *graph.Graph, t float64) (*Result, error) {
-	if g == nil {
-		return nil, fmt.Errorf("hetcc: nil graph")
-	}
-	if t < 0 || t > 100 {
-		return nil, fmt.Errorf("hetcc: threshold %v outside [0, 100]", t)
-	}
-	nCPU := int(float64(g.N) * t / 100)
 	res := &Result{}
-
-	// --- Phase I: partition -------------------------------------------
-	// Splitting the CSR structure scans every vertex and arc once on
-	// the CPU (memory-bound streaming pass).
-	gCPU, gGPU, cross, err := partition(g, nCPU)
-	if err != nil {
+	if err := a.runInto(g, t, res, new(runScratch)); err != nil {
 		return nil, err
 	}
-	res.CrossEdges = int64(len(cross))
-	partKernel := hetsim.Kernel{
-		Name:             "partition",
-		Ops:              int64(g.N) + int64(g.Arcs()),
-		Bytes:            8 * int64(g.Arcs()),
-		Launches:         1,
-		ParallelFraction: 0.9,
-	}
-	partTime := a.Platform.CPU.Time(partKernel)
-	res.Trace.Add(hetsim.PhasePartition, "cpu", partTime)
-
-	// --- Phase II: overlapped heterogeneous compute -------------------
-	cpuRes := graph.ParallelCPU(gCPU, a.threads())
-	cpuTime := a.cpuTime(gCPU)
-	res.Trace.Add(hetsim.PhaseCompute, "cpu", cpuTime)
-
-	gpuRes := graph.ShiloachVishkin(gGPU)
-	transferIn := a.Platform.Link.Transfer(int64(4 * gGPU.Arcs()))
-	gpuTime := transferIn + a.gpuTime(gGPU, gpuRes)
-	res.Trace.Add(hetsim.PhaseTransfer, "link", transferIn)
-	res.Trace.Add(hetsim.PhaseCompute, "gpu", gpuTime-transferIn)
-
-	res.CPUTime, res.GPUTime = cpuTime, gpuTime
-
-	// --- Merge: cross edges unify the two labelings (on the GPU per
-	// the paper's line 9) -----------------------------------------------
-	labels := mergeLabels(g, nCPU, cpuRes, gpuRes, cross)
-	mergeKernel := hetsim.Kernel{
-		Name:             "merge",
-		Ops:              12 * int64(len(cross)), // finds + union per edge
-		Bytes:            8 * int64(len(cross)),
-		Launches:         1,
-		ParallelFraction: 1,   // lock-free parallel union-find
-		IrregularityCV:   1.0, // pointer chasing
-	}
-	mergeTime := a.Platform.GPU.Time(mergeKernel)
-	res.Trace.Add(hetsim.PhaseMerge, "gpu", mergeTime)
-	transferOut := a.Platform.Link.Transfer(4 * int64(g.N))
-	res.Trace.Add(hetsim.PhaseTransfer, "link", transferOut)
-
-	res.Labels = labels
-	res.Components = graph.NumComponents(labels)
-	res.Time = partTime + hetsim.Overlap(cpuTime, gpuTime) + mergeTime + transferOut
 	return res, nil
 }
 
@@ -207,69 +154,14 @@ func ccGPUTime(dev *hetsim.Device, gGPU *graph.Graph, r *graph.CCResult) time.Du
 
 // partition splits g at vertex nCPU into G_CPU (vertices [0, nCPU)),
 // G_GPU (vertices [nCPU, n), renumbered from 0) and the cross-edge
-// list (in original vertex ids, u < nCPU <= v).
+// list (in original vertex ids, u < nCPU <= v). The returned graphs
+// are freshly owned; the hot path uses partitionInto directly.
 func partition(g *graph.Graph, nCPU int) (gCPU, gGPU *graph.Graph, cross []graph.Edge, err error) {
-	if nCPU < 0 || nCPU > g.N {
-		return nil, nil, nil, fmt.Errorf("hetcc: split %d outside [0, %d]", nCPU, g.N)
-	}
-	nGPU := g.N - nCPU
-	cpuEdges := make([]graph.Edge, 0, 64)
-	gpuEdges := make([]graph.Edge, 0, 64)
-	for u := 0; u < g.N; u++ {
-		for _, v := range g.Neighbors(u) {
-			if int32(u) > v {
-				continue // handle each undirected edge once
-			}
-			switch {
-			case int(v) < nCPU:
-				cpuEdges = append(cpuEdges, graph.Edge{U: int32(u), V: v})
-			case u >= nCPU:
-				gpuEdges = append(gpuEdges, graph.Edge{U: int32(u - nCPU), V: v - int32(nCPU)})
-			default:
-				cross = append(cross, graph.Edge{U: int32(u), V: v})
-			}
-		}
-	}
-	gCPU, err = graph.FromEdges(nCPU, cpuEdges)
-	if err != nil {
+	var s runScratch
+	if err := partitionInto(g, nCPU, &s); err != nil {
 		return nil, nil, nil, err
 	}
-	gGPU, err = graph.FromEdges(nGPU, gpuEdges)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return gCPU, gGPU, cross, nil
-}
-
-// mergeLabels combines the partition-local labelings into a global
-// one using a union–find over the cross edges, then canonicalizes to
-// minimum-vertex-id labels.
-func mergeLabels(g *graph.Graph, nCPU int, cpuRes, gpuRes *graph.CCResult, cross []graph.Edge) []int32 {
-	labels := make([]int32, g.N)
-	for v := 0; v < nCPU; v++ {
-		labels[v] = cpuRes.Labels[v]
-	}
-	for v := nCPU; v < g.N; v++ {
-		labels[v] = gpuRes.Labels[v-nCPU] + int32(nCPU)
-	}
-	uf := graph.NewUnionFind(g.N)
-	for _, e := range cross {
-		uf.Union(int(labels[e.U]), int(labels[e.V]))
-	}
-	for v := range labels {
-		labels[v] = int32(uf.Find(int(labels[v])))
-	}
-	// Canonicalize to the minimum vertex id per component.
-	minOf := make(map[int32]int32)
-	for v, l := range labels {
-		if cur, ok := minOf[l]; !ok || int32(v) < cur {
-			minOf[l] = int32(v)
-		}
-	}
-	for v := range labels {
-		labels[v] = minOf[labels[v]]
-	}
-	return labels
+	return &s.gCPU, &s.gGPU, s.cross, nil
 }
 
 // RunGPUOnly is the paper's "Naive" homogeneous baseline: the whole

@@ -1,0 +1,190 @@
+package hetcc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/hetsim"
+)
+
+// runScratch is the reusable working memory of one heterogeneous CC
+// run: the split CSR structures, the cross-edge list, per-device
+// component state and the merge buffers. A parallel Identify sweep
+// evaluates the same graph at dozens of thresholds; pooling one scratch
+// per search worker makes each evaluation allocation-free after the
+// first, which is where the sweep's time goes (see BENCH_search.json).
+//
+// A scratch serves one run at a time; the Result it produced aliases it
+// and stays valid only until its next use.
+type runScratch struct {
+	gCPU, gGPU graph.Graph
+	cpuRowPtr  []int64
+	gpuRowPtr  []int64
+	cpuAdj     []int32
+	gpuAdj     []int32
+	cross      []graph.Edge
+
+	cpuRes, gpuRes graph.CCResult
+	ccCPU, ccGPU   graph.CCScratch
+
+	labels []int32
+	uf     graph.UnionFind
+	minOf  []int32
+	trace  []hetsim.TraceEntry
+}
+
+// runScratchPool recycles run scratches across Workload.Evaluate calls;
+// each concurrent evaluation checks one out for the duration of a run.
+var runScratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// partitionInto splits g at vertex nCPU directly on the CSR structure
+// into s: G_CPU (vertices [0, nCPU)), G_GPU (vertices [nCPU, n),
+// renumbered from 0) and the cross-edge list (original ids,
+// u < nCPU <= v). Because adjacency lists are sorted, each row splits
+// at a single boundary — the sub-CSR rows are copied prefixes and
+// suffixes, with no edge-list materialization, no re-sort and no
+// dedup. The result is arc-for-arc identical to rebuilding the
+// subgraphs through graph.FromEdges.
+func partitionInto(g *graph.Graph, nCPU int, s *runScratch) error {
+	if nCPU < 0 || nCPU > g.N {
+		return fmt.Errorf("hetcc: split %d outside [0, %d]", nCPU, g.N)
+	}
+	nGPU := g.N - nCPU
+	s.cpuRowPtr = growInt64(s.cpuRowPtr, nCPU+1)
+	s.gpuRowPtr = growInt64(s.gpuRowPtr, nGPU+1)
+	s.cpuAdj = s.cpuAdj[:0]
+	s.gpuAdj = s.gpuAdj[:0]
+	s.cross = s.cross[:0]
+	bound := int32(nCPU)
+	s.cpuRowPtr[0] = 0
+	for u := 0; u < nCPU; u++ {
+		adj := g.Neighbors(u)
+		k := sort.Search(len(adj), func(i int) bool { return adj[i] >= bound })
+		s.cpuAdj = append(s.cpuAdj, adj[:k]...)
+		s.cpuRowPtr[u+1] = int64(len(s.cpuAdj))
+		for _, v := range adj[k:] {
+			s.cross = append(s.cross, graph.Edge{U: int32(u), V: v})
+		}
+	}
+	s.gpuRowPtr[0] = 0
+	for u := nCPU; u < g.N; u++ {
+		adj := g.Neighbors(u)
+		k := sort.Search(len(adj), func(i int) bool { return adj[i] >= bound })
+		for _, v := range adj[k:] {
+			s.gpuAdj = append(s.gpuAdj, v-bound)
+		}
+		s.gpuRowPtr[u-nCPU+1] = int64(len(s.gpuAdj))
+	}
+	s.gCPU = graph.Graph{N: nCPU, RowPtr: s.cpuRowPtr, Adj: s.cpuAdj}
+	s.gGPU = graph.Graph{N: nGPU, RowPtr: s.gpuRowPtr, Adj: s.gpuAdj}
+	return nil
+}
+
+// mergeLabelsInto combines the partition-local labelings into a global
+// one (buffered in s) using a union–find over the cross edges, then
+// canonicalizes to minimum-vertex-id labels.
+func mergeLabelsInto(g *graph.Graph, nCPU int, cpuRes, gpuRes *graph.CCResult, cross []graph.Edge, s *runScratch) []int32 {
+	s.labels = growInt32(s.labels, g.N)
+	labels := s.labels
+	copy(labels[:nCPU], cpuRes.Labels)
+	for v := nCPU; v < g.N; v++ {
+		labels[v] = gpuRes.Labels[v-nCPU] + int32(nCPU)
+	}
+	s.uf.Reset(g.N)
+	for _, e := range cross {
+		s.uf.Union(int(labels[e.U]), int(labels[e.V]))
+	}
+	for v := range labels {
+		labels[v] = int32(s.uf.Find(int(labels[v])))
+	}
+	s.minOf = growInt32(s.minOf, g.N)
+	graph.CanonicalizeMinLabelsInto(labels, s.minOf)
+	return labels
+}
+
+// runInto executes Algorithm 1 drawing every buffer from s; res is
+// fully overwritten and aliases s afterwards. Run wraps this with a
+// fresh scratch (so its Results are independently owned); the sampling
+// adapter's Evaluate wraps it with a pooled scratch.
+func (a *Algorithm) runInto(g *graph.Graph, t float64, res *Result, s *runScratch) error {
+	if g == nil {
+		return fmt.Errorf("hetcc: nil graph")
+	}
+	if t < 0 || t > 100 {
+		return fmt.Errorf("hetcc: threshold %v outside [0, 100]", t)
+	}
+	nCPU := int(float64(g.N) * t / 100)
+	res.Labels = nil
+	res.Components = 0
+	res.Time, res.CPUTime, res.GPUTime = 0, 0, 0
+	res.CrossEdges = 0
+	res.Trace.Entries = s.trace[:0]
+
+	// --- Phase I: partition -------------------------------------------
+	// Splitting the CSR structure scans every vertex and arc once on
+	// the CPU (memory-bound streaming pass).
+	if err := partitionInto(g, nCPU, s); err != nil {
+		return err
+	}
+	res.CrossEdges = int64(len(s.cross))
+	partKernel := hetsim.Kernel{
+		Name:             "partition",
+		Ops:              int64(g.N) + int64(g.Arcs()),
+		Bytes:            8 * int64(g.Arcs()),
+		Launches:         1,
+		ParallelFraction: 0.9,
+	}
+	partTime := a.Platform.CPU.Time(partKernel)
+	res.Trace.Add(hetsim.PhasePartition, "cpu", partTime)
+
+	// --- Phase II: overlapped heterogeneous compute -------------------
+	graph.ParallelCPUInto(&s.gCPU, a.threads(), &s.cpuRes, &s.ccCPU)
+	cpuTime := a.cpuTime(&s.gCPU)
+	res.Trace.Add(hetsim.PhaseCompute, "cpu", cpuTime)
+
+	graph.ShiloachVishkinInto(&s.gGPU, &s.gpuRes, &s.ccGPU)
+	transferIn := a.Platform.Link.Transfer(int64(4 * s.gGPU.Arcs()))
+	gpuTime := transferIn + a.gpuTime(&s.gGPU, &s.gpuRes)
+	res.Trace.Add(hetsim.PhaseTransfer, "link", transferIn)
+	res.Trace.Add(hetsim.PhaseCompute, "gpu", gpuTime-transferIn)
+
+	res.CPUTime, res.GPUTime = cpuTime, gpuTime
+
+	// --- Merge: cross edges unify the two labelings (on the GPU per
+	// the paper's line 9) -----------------------------------------------
+	labels := mergeLabelsInto(g, nCPU, &s.cpuRes, &s.gpuRes, s.cross, s)
+	mergeKernel := hetsim.Kernel{
+		Name:             "merge",
+		Ops:              12 * int64(len(s.cross)), // finds + union per edge
+		Bytes:            8 * int64(len(s.cross)),
+		Launches:         1,
+		ParallelFraction: 1,   // lock-free parallel union-find
+		IrregularityCV:   1.0, // pointer chasing
+	}
+	mergeTime := a.Platform.GPU.Time(mergeKernel)
+	res.Trace.Add(hetsim.PhaseMerge, "gpu", mergeTime)
+	transferOut := a.Platform.Link.Transfer(4 * int64(g.N))
+	res.Trace.Add(hetsim.PhaseTransfer, "link", transferOut)
+
+	res.Labels = labels
+	res.Components = graph.NumComponents(labels)
+	res.Time = partTime + hetsim.Overlap(cpuTime, gpuTime) + mergeTime + transferOut
+	s.trace = res.Trace.Entries // keep the grown trace buffer
+	return nil
+}

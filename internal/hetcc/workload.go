@@ -54,13 +54,17 @@ func (w *Workload) Graph() *graph.Graph { return w.g }
 
 // Evaluate implements core.Workload: one full heterogeneous CC run at
 // threshold t, returning its simulated duration. It is safe for
-// concurrent use — Run treats the graph as immutable and allocates all
-// per-run scratch (frontiers, labels, union-find state) locally — so
-// parallel searches (core.WithParallelism) may call it from many
-// goroutines on one Workload.
+// concurrent use — the graph is treated as immutable and each call
+// checks a private run scratch (split CSRs, frontiers, labels,
+// union-find state) out of a pool — so parallel searches
+// (core.WithParallelism) may call it from many goroutines on one
+// Workload. Reusing pooled scratch across grid points is what makes
+// the evaluation loop allocation-free in the steady state.
 func (w *Workload) Evaluate(t float64) (time.Duration, error) {
-	res, err := w.alg.Run(w.g, t)
-	if err != nil {
+	s := runScratchPool.Get().(*runScratch)
+	defer runScratchPool.Put(s)
+	var res Result
+	if err := w.alg.runInto(w.g, t, &res, s); err != nil {
 		return 0, err
 	}
 	return res.Time, nil

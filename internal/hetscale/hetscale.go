@@ -114,7 +114,9 @@ func NewProfile(a *sparse.CSR) (*Profile, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, _, err := sparse.SpMM(a, a)
+	// Output row sizes come from the symbolic multiply — no need to
+	// materialize A×A just to read its row lengths.
+	outCounts, _, err := sparse.RowOutputCounts(nil, a, a)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +149,7 @@ func NewProfile(a *sparse.CSR) (*Profile, error) {
 		p.loadPrefix[k+1] = p.loadPrefix[k] + l
 		lf := float64(l)
 		p.loadSqPrefix[k+1] = p.loadSqPrefix[k] + lf*lf
-		p.outPrefix[k+1] = p.outPrefix[k] + int64(c.RowNNZ(int(ri)))
+		p.outPrefix[k+1] = p.outPrefix[k] + outCounts[ri]
 		p.nnzPrefix[k+1] = p.nnzPrefix[k] + int64(d)
 	}
 	return p, nil

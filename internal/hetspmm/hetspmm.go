@@ -105,13 +105,11 @@ type Profile struct {
 }
 
 // NewProfile computes the profile for A×B. It runs the load-vector
-// computation and one real multiplication (for output sizes).
+// computation and a symbolic multiplication: output row sizes come
+// from sparse.RowOutputCounts, which marks columns without ever
+// accumulating, sorting, or materializing C.
 func NewProfile(a, b *sparse.CSR) (*Profile, error) {
 	load, err := sparse.LoadVector(a, b)
-	if err != nil {
-		return nil, err
-	}
-	c, _, err := sparse.SpMM(a, b)
 	if err != nil {
 		return nil, err
 	}
@@ -120,14 +118,21 @@ func NewProfile(a, b *sparse.CSR) (*Profile, error) {
 		load:         load,
 		loadPrefix:   make([]int64, a.Rows+1),
 		loadSqPrefix: make([]float64, a.Rows+1),
-		outPrefix:    make([]int64, a.Rows+1),
 		nnzAPrefix:   make([]int64, a.Rows+1),
 	}
+	outCounts, _, err := sparse.RowOutputCounts(nil, a, b)
+	if err != nil {
+		return nil, err
+	}
+	// Reuse the counts buffer as the prefix array (shifted by one).
+	p.outPrefix = append(outCounts, 0)
+	copy(p.outPrefix[1:], outCounts)
+	p.outPrefix[0] = 0
 	for i := 0; i < a.Rows; i++ {
 		p.loadPrefix[i+1] = p.loadPrefix[i] + load[i]
 		lf := float64(load[i])
 		p.loadSqPrefix[i+1] = p.loadSqPrefix[i] + lf*lf
-		p.outPrefix[i+1] = p.outPrefix[i] + int64(c.RowNNZ(i))
+		p.outPrefix[i+1] += p.outPrefix[i]
 		p.nnzAPrefix[i+1] = p.nnzAPrefix[i] + int64(a.RowNNZ(i))
 	}
 	return p, nil

@@ -9,10 +9,22 @@ import (
 // SpMV computes y = A*x. x must have length A.Cols; the result has
 // length A.Rows. Pattern matrices use implicit 1 values.
 func SpMV(a *CSR, x []float64) ([]float64, error) {
+	return SpMVInto(nil, a, x)
+}
+
+// SpMVInto computes y = A*x into dst, growing it only when its capacity
+// is short of A.Rows, and returns the (possibly reallocated) result
+// slice. Evaluation loops that multiply repeatedly against the same
+// matrix pass the previous result back in and run allocation-free;
+// SpMVInto(nil, a, x) is equivalent to SpMV(a, x).
+func SpMVInto(dst []float64, a *CSR, x []float64) ([]float64, error) {
 	if len(x) != a.Cols {
 		return nil, fmt.Errorf("sparse: SpMV vector length %d, want %d", len(x), a.Cols)
 	}
-	y := make([]float64, a.Rows)
+	if cap(dst) < a.Rows {
+		dst = make([]float64, a.Rows)
+	}
+	y := dst[:a.Rows]
 	for i := 0; i < a.Rows; i++ {
 		var s float64
 		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
@@ -39,18 +51,27 @@ func SpMV(a *CSR, x []float64) ([]float64, error) {
 // The total work volume (the 1-norm of L_AB) equals the number of
 // scalar multiply-adds the Gustavson SpMM will perform.
 func LoadVector(a, b *CSR) ([]int64, error) {
+	return LoadVectorInto(nil, a, b)
+}
+
+// LoadVectorInto computes the load vector into dst, growing it only
+// when its capacity is short of A.Rows, and returns the (possibly
+// reallocated) result. Row lengths of B are read straight from its
+// RowPtr, so the pass allocates nothing beyond dst itself;
+// LoadVectorInto(nil, a, b) is equivalent to LoadVector(a, b).
+func LoadVectorInto(dst []int64, a, b *CSR) ([]int64, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("sparse: LoadVector dims %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
-	bRowNNZ := make([]int64, b.Rows)
-	for j := 0; j < b.Rows; j++ {
-		bRowNNZ[j] = b.RowPtr[j+1] - b.RowPtr[j]
+	if cap(dst) < a.Rows {
+		dst = make([]int64, a.Rows)
 	}
-	out := make([]int64, a.Rows)
+	out := dst[:a.Rows]
 	for i := 0; i < a.Rows; i++ {
 		var s int64
 		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			s += bRowNNZ[a.ColIdx[k]]
+			j := a.ColIdx[k]
+			s += b.RowPtr[j+1] - b.RowPtr[j]
 		}
 		out[i] = s
 	}
@@ -122,16 +143,82 @@ func newSpmmAccumulator(cols int) *spmmAccumulator {
 	}
 }
 
+// accPool recycles accumulators across multiplications. Gustavson's
+// scratch (dense accumulator + marker) is the dominant per-call
+// allocation of SpMM; the profile builders run one multiplication per
+// Sample, which puts this on the estimation hot path.
+var accPool sync.Pool
+
+// getAccumulator returns a pooled accumulator resized for cols output
+// columns; pair with putAccumulator.
+func getAccumulator(cols int) *spmmAccumulator {
+	v, _ := accPool.Get().(*spmmAccumulator)
+	if v == nil {
+		return newSpmmAccumulator(cols)
+	}
+	v.ensure(cols)
+	return v
+}
+
+func putAccumulator(s *spmmAccumulator) { accPool.Put(s) }
+
+// ensure resizes the scratch for cols output columns, reusing backing
+// arrays when capacity allows. Newly exposed marker entries are zeroed
+// and the generation counter keeps ascending, so stale marks from a
+// previous multiplication can never collide with a future generation.
+func (s *spmmAccumulator) ensure(cols int) {
+	if cap(s.marker) < cols {
+		s.acc = make([]float64, cols)
+		s.marker = make([]int32, cols)
+		s.generation = 0
+		return
+	}
+	if grown := len(s.marker); cols > grown {
+		s.marker = s.marker[:cols]
+		s.acc = s.acc[:cols]
+		clear(s.marker[grown:])
+	} else {
+		s.marker = s.marker[:cols]
+		s.acc = s.acc[:cols]
+	}
+}
+
+// nextGeneration advances the marker generation, resetting the whole
+// backing array (full capacity, including entries a shorter reuse has
+// hidden) on the rare wraparound.
+func (s *spmmAccumulator) nextGeneration() {
+	s.generation++
+	if s.generation == 0 { // wrapped; reset markers
+		clear(s.marker[:cap(s.marker)])
+		s.generation = 1
+	}
+}
+
+// rowNNZ counts the distinct output columns of row i of A×B — the
+// symbolic half of Gustavson's algorithm: marker bookkeeping only, no
+// accumulation, no sorting. Returns the row's output nnz and its
+// multiply-add count.
+func (s *spmmAccumulator) rowNNZ(a, b *CSR, i int) (nnz, flops int64) {
+	s.nextGeneration()
+	aCols, _ := a.Row(i)
+	for _, j := range aCols {
+		lo, hi := b.RowPtr[j], b.RowPtr[j+1]
+		flops += hi - lo
+		for k := lo; k < hi; k++ {
+			c := b.ColIdx[k]
+			if s.marker[c] != s.generation {
+				s.marker[c] = s.generation
+				nnz++
+			}
+		}
+	}
+	return nnz, flops
+}
+
 // row computes one output row; results are appended to the provided
 // CSR-building buffers. Returns the multiply-add count.
 func (s *spmmAccumulator) row(a, b *CSR, i int, outCols *[]int32, outVals *[]float64) int64 {
-	s.generation++
-	if s.generation == 0 { // wrapped; reset markers
-		for k := range s.marker {
-			s.marker[k] = 0
-		}
-		s.generation = 1
-	}
+	s.nextGeneration()
 	s.touched = s.touched[:0]
 	var flops int64
 	aCols, aVals := a.Row(i)
@@ -187,6 +274,32 @@ func insertionSortInt32(a []int32) {
 	}
 }
 
+// RowOutputCounts computes the per-row output sizes of C = A×B (the
+// nnz of each row of the product) and the total multiply-add count
+// WITHOUT materializing C: a symbolic Gustavson pass that only marks
+// columns. dst is reused when its capacity allows, as in
+// LoadVectorInto. Profile builders, which need output sizes but never
+// the product itself, use this instead of a full SpMM — it skips the
+// accumulation, the per-row sort, and the output arrays entirely.
+func RowOutputCounts(dst []int64, a, b *CSR) ([]int64, int64, error) {
+	if a.Cols != b.Rows {
+		return nil, 0, fmt.Errorf("sparse: RowOutputCounts dims %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if cap(dst) < a.Rows {
+		dst = make([]int64, a.Rows)
+	}
+	out := dst[:a.Rows]
+	acc := getAccumulator(b.Cols)
+	defer putAccumulator(acc)
+	var flops int64
+	for i := 0; i < a.Rows; i++ {
+		nnz, f := acc.rowNNZ(a, b, i)
+		out[i] = nnz
+		flops += f
+	}
+	return out, flops, nil
+}
+
 // SpMM computes C = A×B with Gustavson's sequential row-row algorithm.
 // It also returns the number of scalar multiply-adds performed, which
 // equals TotalWork(A, B).
@@ -194,7 +307,8 @@ func SpMM(a, b *CSR) (*CSR, int64, error) {
 	if a.Cols != b.Rows {
 		return nil, 0, fmt.Errorf("sparse: SpMM dims %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
-	acc := newSpmmAccumulator(b.Cols)
+	acc := getAccumulator(b.Cols)
+	defer putAccumulator(acc)
 	rowPtr := make([]int64, a.Rows+1)
 	cols := make([]int32, 0)
 	vals := make([]float64, 0)
@@ -232,7 +346,8 @@ func SpMMParallel(a, b *CSR, workers int) (*CSR, int64, error) {
 		wg.Add(1)
 		go func(blk *block) {
 			defer wg.Done()
-			acc := newSpmmAccumulator(b.Cols)
+			acc := getAccumulator(b.Cols)
+			defer putAccumulator(acc)
 			blk.ptr = make([]int64, blk.hi-blk.lo+1)
 			for i := blk.lo; i < blk.hi; i++ {
 				blk.flops += acc.row(a, b, i, &blk.cols, &blk.vals)

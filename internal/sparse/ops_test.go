@@ -309,3 +309,137 @@ func TestSpMMSplitEquivalence(t *testing.T) {
 		}
 	}
 }
+
+func TestSpMVIntoReusesDestination(t *testing.T) {
+	m := small3x4(t)
+	x := []float64{1, 2, 3, 4}
+	want, err := SpMV(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 0, m.Rows)
+	got, err := SpMVInto(dst, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Error("SpMVInto reallocated despite sufficient capacity")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SpMVInto = %v, want %v", got, want)
+		}
+	}
+	// Stale contents in a reused destination must be overwritten.
+	for i := range got {
+		got[i] = math.Inf(1)
+	}
+	again, err := SpMVInto(got, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if again[i] != want[i] {
+			t.Fatalf("reused SpMVInto = %v, want %v", again, want)
+		}
+	}
+	n := testing.AllocsPerRun(20, func() {
+		if _, err := SpMVInto(got, m, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("SpMVInto with reusable destination: %v allocs, want 0", n)
+	}
+}
+
+func TestLoadVectorIntoMatchesLoadVector(t *testing.T) {
+	a, err := Generate(GenConfig{Class: ClassPowerLaw, Rows: 80, Cols: 80, NNZ: 700, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := LoadVector(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int64, a.Rows)
+	got, err := LoadVectorInto(dst, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LoadVectorInto[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	n := testing.AllocsPerRun(20, func() {
+		if _, err := LoadVectorInto(dst, a, a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("LoadVectorInto with reusable destination: %v allocs, want 0", n)
+	}
+}
+
+func TestRowOutputCountsMatchesSpMM(t *testing.T) {
+	for _, class := range []Class{ClassUniform, ClassPowerLaw, ClassFEM} {
+		a, err := Generate(GenConfig{Class: class, Rows: 70, Cols: 70, NNZ: 600, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, flops, err := SpMM(a, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts, symFlops, err := RowOutputCounts(nil, a, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if symFlops != flops {
+			t.Errorf("class %v: symbolic flops %d, SpMM flops %d", class, symFlops, flops)
+		}
+		for i := 0; i < a.Rows; i++ {
+			if counts[i] != int64(c.RowNNZ(i)) {
+				t.Errorf("class %v row %d: symbolic nnz %d, real %d", class, i, counts[i], c.RowNNZ(i))
+			}
+		}
+	}
+	// Dimension mismatch must error like SpMM.
+	a, _ := Generate(GenConfig{Class: ClassUniform, Rows: 4, Cols: 5, NNZ: 6, Seed: 1})
+	b, _ := Generate(GenConfig{Class: ClassUniform, Rows: 4, Cols: 4, NNZ: 6, Seed: 1})
+	if _, _, err := RowOutputCounts(nil, a, b); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+// TestAccumulatorPoolReuse hammers pooled accumulators across shapes so
+// the ensure() resize paths (grow within capacity, shrink, realloc)
+// all run; results must stay exact.
+func TestAccumulatorPoolReuse(t *testing.T) {
+	sizes := []int{64, 16, 96, 8, 64}
+	for _, n := range sizes {
+		a, err := Generate(GenConfig{Class: ClassPowerLaw, Rows: n, Cols: n, NNZ: 6 * n, Seed: uint64(n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, flops, err := SpMM(a, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts, symFlops, err := RowOutputCounts(nil, a, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if symFlops != flops {
+			t.Fatalf("n=%d: symbolic flops %d, SpMM flops %d", n, symFlops, flops)
+		}
+		var total int64
+		for i := range counts {
+			total += counts[i]
+		}
+		if total != int64(c.NNZ()) {
+			t.Fatalf("n=%d: symbolic nnz %d, real %d", n, total, c.NNZ())
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether the race detector is compiled in. Its
+// instrumentation allocates, so allocation-count pins are meaningless
+// under -race and skip themselves.
+const raceEnabled = true
