@@ -7,37 +7,47 @@
 //	hetgen -out data/                 # all Table II replicas
 //	hetgen -dataset cant -out data/   # one replica
 //	hetgen -class powerlaw -n 10000 -nnz 200000 -seed 7 -out data/custom.mtx
+//	hetgen -features -dataset cant    # print the structural feature vector
+//
+// With -features, hetgen prints each matrix's structural feature
+// vector (the hetstore transfer key: rows, nnz, per-row work moments,
+// bandwidth) in the X-Het-Features wire form instead of writing files —
+// the printed line can be sent as a request header to pre-steer a
+// hetserve threshold-store lookup.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"repro/internal/datasets"
 	"repro/internal/mmio"
 	"repro/internal/sparse"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
-		out     = flag.String("out", ".", "output directory (or file for -class mode)")
-		dataset = flag.String("dataset", "", "single Table II dataset to emit (default: all)")
-		class   = flag.String("class", "", "custom generation: uniform | fem | powerlaw | road")
-		n       = flag.Int("n", 10000, "custom generation: rows")
-		nnz     = flag.Int("nnz", 100000, "custom generation: nonzero target")
-		seed    = flag.Uint64("seed", 42, "custom generation: seed")
+		out      = flag.String("out", ".", "output directory (or file for -class mode)")
+		dataset  = flag.String("dataset", "", "single Table II dataset to emit (default: all)")
+		class    = flag.String("class", "", "custom generation: uniform | fem | powerlaw | road")
+		n        = flag.Int("n", 10000, "custom generation: rows")
+		nnz      = flag.Int("nnz", 100000, "custom generation: nonzero target")
+		seed     = flag.Uint64("seed", 42, "custom generation: seed")
+		features = flag.Bool("features", false, "print structural feature vectors (X-Het-Features wire form) instead of writing files")
 	)
 	flag.Parse()
 
-	if err := run(*out, *dataset, *class, *n, *nnz, *seed); err != nil {
+	if err := run(os.Stdout, *out, *dataset, *class, *n, *nnz, *seed, *features); err != nil {
 		fmt.Fprintln(os.Stderr, "hetgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, dataset, class string, n, nnz int, seed uint64) error {
+func run(w io.Writer, out, dataset, class string, n, nnz int, seed uint64, features bool) error {
 	if class != "" {
 		cls, err := parseClass(class)
 		if err != nil {
@@ -47,11 +57,15 @@ func run(out, dataset, class string, n, nnz int, seed uint64) error {
 		if err != nil {
 			return err
 		}
+		if features {
+			fmt.Fprintf(w, "%s\t%s\n", class, store.FromCSR(m).String())
+			return nil
+		}
 		path := out
 		if fi, err := os.Stat(out); err == nil && fi.IsDir() {
 			path = filepath.Join(out, fmt.Sprintf("%s_%d.mtx", class, n))
 		}
-		return write(path, m)
+		return write(w, path, m)
 	}
 
 	ds := datasets.All()
@@ -67,8 +81,12 @@ func run(out, dataset, class string, n, nnz int, seed uint64) error {
 		if err != nil {
 			return err
 		}
+		if features {
+			fmt.Fprintf(w, "%s\t%s\n", d.Name, store.FromCSR(m).String())
+			continue
+		}
 		path := filepath.Join(out, d.Name+".mtx")
-		if err := write(path, m); err != nil {
+		if err := write(w, path, m); err != nil {
 			return err
 		}
 	}
@@ -89,10 +107,10 @@ func parseClass(s string) (sparse.Class, error) {
 	return 0, fmt.Errorf("unknown class %q", s)
 }
 
-func write(path string, m *sparse.CSR) error {
+func write(w io.Writer, path string, m *sparse.CSR) error {
 	if err := mmio.WriteFile(path, m.ToCOO()); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%dx%d, %d nnz)\n", path, m.Rows, m.Cols, m.NNZ())
+	fmt.Fprintf(w, "wrote %s (%dx%d, %d nnz)\n", path, m.Rows, m.Cols, m.NNZ())
 	return nil
 }

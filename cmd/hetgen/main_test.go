@@ -1,16 +1,20 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/mmio"
+	"repro/internal/store"
 )
 
 func TestRunSingleDataset(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, "qcd5_4", "", 0, 0, 0); err != nil {
+	if err := run(io.Discard, dir, "qcd5_4", "", 0, 0, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	coo, err := mmio.ReadFile(filepath.Join(dir, "qcd5_4.mtx"))
@@ -25,14 +29,14 @@ func TestRunSingleDataset(t *testing.T) {
 func TestRunCustomClass(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "custom.mtx")
-	if err := run(path, "", "powerlaw", 500, 5000, 7); err != nil {
+	if err := run(io.Discard, path, "", "powerlaw", 500, 5000, 7, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(path); err != nil {
 		t.Fatal(err)
 	}
 	// Directory targets get a generated name.
-	if err := run(dir, "", "road", 400, 800, 7); err != nil {
+	if err := run(io.Discard, dir, "", "road", 400, 800, 7, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "road_400.mtx")); err != nil {
@@ -40,11 +44,44 @@ func TestRunCustomClass(t *testing.T) {
 	}
 }
 
+func TestRunFeatures(t *testing.T) {
+	// -features prints the wire-form vector and writes no files.
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(&buf, dir, "qcd5_4", "", 0, 0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	name, wire, ok := strings.Cut(line, "\t")
+	if !ok || name != "qcd5_4" {
+		t.Fatalf("features line = %q, want name<TAB>vector", line)
+	}
+	f, err := store.ParseFeatures(wire)
+	if err != nil {
+		t.Fatalf("printed vector does not round-trip: %v", err)
+	}
+	if f.Rows == 0 || f.NNZ == 0 {
+		t.Errorf("degenerate features: %+v", f)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "qcd5_4.mtx")); !os.IsNotExist(err) {
+		t.Error("-features wrote a matrix file")
+	}
+
+	// Custom-class mode prints one line too.
+	buf.Reset()
+	if err := run(&buf, dir, "", "powerlaw", 500, 5000, 7, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "powerlaw\t") {
+		t.Errorf("custom features line = %q", buf.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run(t.TempDir(), "nonexistent", "", 0, 0, 0); err == nil {
+	if err := run(io.Discard, t.TempDir(), "nonexistent", "", 0, 0, 0, false); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if err := run(t.TempDir(), "", "banana", 10, 10, 1); err == nil {
+	if err := run(io.Discard, t.TempDir(), "", "banana", 10, 10, 1, false); err == nil {
 		t.Error("unknown class accepted")
 	}
 	if _, err := parseClass("fem"); err != nil {

@@ -17,6 +17,15 @@
 // hetgate from its remaining client budget) are bounded by that budget
 // too, and shed with 504 when the budget cannot fit any work.
 //
+// Threshold store: -store enables the structure-keyed threshold store
+// (hetstore) — estimates are keyed by the input's structural feature
+// vector and transferred to structurally similar inputs, either
+// warm-starting the Identify sweep or skipping it entirely behind a
+// cheap verification probe. -store-path persists the store as
+// append-only JSONL across restarts (flushed periodically and on
+// SIGTERM); -store-radius tunes the nearest-neighbor acceptance
+// distance.
+//
 // Overload protection: -admission caps the total estimated evaluation
 // cost in flight, -admission-queue bounds the LIFO wait stack in front
 // of it; beyond both, requests are shed with 429 + Retry-After, or —
@@ -48,6 +57,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -62,6 +72,9 @@ func main() {
 		admissionQ = flag.Int("admission-queue", 0, "requests that may wait for admission before shedding with 429 (0 = default, negative = never queue)")
 		degrade    = flag.Bool("degrade", false, "on shed, serve a stale cache entry or static-fallback threshold (marked degraded) instead of 429")
 		staleAfter = flag.Duration("stale-after", 0, "age after which cache entries are served stale while revalidating in the background (0 = never)")
+		useStore   = flag.Bool("store", false, "enable the structure-keyed threshold store (cross-input transfer)")
+		storePath  = flag.String("store-path", "", "persist the threshold store as JSONL at this path (empty = in-memory)")
+		storeRad   = flag.Float64("store-radius", 0, "nearest-neighbor acceptance distance over normalized features (0 = default)")
 		faults     = flag.String("faults", "", "fault-injection rules, e.g. 'latency=200ms;errors=0.3' (chaos testing; empty disables)")
 		faultsSeed = flag.Int64("faults-seed", 1, "seed for the fault-injection RNG (same seed + traffic = same faults)")
 		faultIdx   = flag.Int("fault-backend", 0, "this replica's backend index for fault-rule matching")
@@ -75,6 +88,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetserve:", err)
 		os.Exit(1)
+	}
+	var st *store.Store
+	if *useStore || *storePath != "" {
+		st, err = store.Open(store.Config{Path: *storePath, Radius: *storeRad})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hetserve: opening threshold store:", err)
+			os.Exit(1)
+		}
 	}
 	cfg := serve.Config{
 		Workers:        *workers,
@@ -90,6 +111,7 @@ func main() {
 		FaultBackend:   *faultIdx,
 		Verbose:        *verbose,
 		EnablePprof:    *pprof,
+		Store:          st,
 	}
 	if err := run(*addr, cfg, *logJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "hetserve:", err)
@@ -123,6 +145,26 @@ func run(addr string, cfg serve.Config, logJSON bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Periodic store flush: the append-only log already survives
+	// crashes, but a compacted snapshot keeps boot time and file size
+	// bounded on long-running daemons.
+	if st := s.Store(); st != nil {
+		go func() {
+			ticker := time.NewTicker(storeFlushInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := st.Flush(); err != nil {
+						logger.Warn("flushing threshold store", slog.Any("err", err))
+					}
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("listening",
@@ -131,6 +173,7 @@ func run(addr string, cfg serve.Config, logJSON bool) error {
 			slog.Int("cache", cfg.CacheSize),
 			slog.Int64("admission", s.Admission().Limit()),
 			slog.Bool("degrade", cfg.DegradeOnShed),
+			slog.Bool("store", s.Store() != nil),
 			slog.Bool("faults", cfg.Faults != nil),
 			slog.Bool("pprof", cfg.EnablePprof))
 		errc <- srv.ListenAndServe()
@@ -152,8 +195,19 @@ func run(addr string, cfg serve.Config, logJSON bool) error {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	if st := s.Store(); st != nil {
+		// Close flushes a final snapshot so transferred knowledge
+		// survives the restart.
+		if err := st.Close(); err != nil {
+			logger.Warn("closing threshold store", slog.Any("err", err))
+		}
+	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	return nil
 }
+
+// storeFlushInterval is how often a persistent threshold store
+// compacts its snapshot in the background.
+const storeFlushInterval = 5 * time.Minute

@@ -341,7 +341,7 @@ func (g *Gateway) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		if !br.Allow() {
 			continue
 		}
-		res, err := g.do(ctx, b, http.MethodGet, "/datasets", "", nil)
+		res, err := g.do(ctx, b, http.MethodGet, "/datasets", "", nil, "")
 		if err == nil {
 			writeUpstream(w, res)
 			return
@@ -359,6 +359,11 @@ type upstreamResult struct {
 	body        []byte
 	backend     string
 	degraded    bool
+	// storeMode is the backend's X-Hetserve-Store header ("skip" or
+	// "warm") when the answer came through the threshold-store transfer
+	// path; features is the structural feature vector it computed.
+	storeMode string
+	features  string
 }
 
 func writeUpstream(w http.ResponseWriter, res *upstreamResult) {
@@ -368,6 +373,12 @@ func writeUpstream(w http.ResponseWriter, res *upstreamResult) {
 	w.Header().Set("X-Hetgate-Backend", res.backend)
 	if res.degraded {
 		w.Header().Set(serve.DegradedHeader, "true")
+	}
+	if res.storeMode != "" {
+		w.Header().Set(serve.StoreHeader, res.storeMode)
+	}
+	if res.features != "" {
+		w.Header().Set(serve.FeaturesHeader, res.features)
 	}
 	w.WriteHeader(res.status)
 	w.Write(res.body)
@@ -425,6 +436,11 @@ func (g *Gateway) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// parameter, so the flight key adds the canonicalized query string.
 	flightKey := key + "|" + canonicalQuery(r.URL.Query())
 
+	// A client that already knows the input's structural features may
+	// hint them along; the hint rides to the backend, where it saves
+	// the feature scan and steers the threshold-store lookup.
+	features := r.Header.Get(serve.FeaturesHeader)
+
 	v, err, leader := g.flight.Do(flightKey, func() (any, error) {
 		// Detached context: the upstream call outlives any single
 		// waiter, so one impatient client cannot fail the whole herd.
@@ -434,7 +450,7 @@ func (g *Gateway) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		ctx, sp := obs.StartSpan(ctx, "forward")
 		sp.SetAttr("key", key)
-		res, err := g.forward(ctx, r.Method, r.URL.RawQuery, body, key)
+		res, err := g.forward(ctx, r.Method, r.URL.RawQuery, body, key, features)
 		if err != nil {
 			sp.RecordError(err)
 		} else {
@@ -493,7 +509,7 @@ func canonicalQuery(q url.Values) string {
 // forward walks key's replica chain: try the owner, hedge to the next
 // replica if the attempt is slow, and on failure back off (with full
 // jitter) and retry the next candidate, up to MaxAttempts attempts.
-func (g *Gateway) forward(ctx context.Context, method, rawQuery string, body []byte, key string) (*upstreamResult, error) {
+func (g *Gateway) forward(ctx context.Context, method, rawQuery string, body []byte, key, features string) (*upstreamResult, error) {
 	order := g.ring.Replicas(key, g.ring.Len())
 	if len(order) == 0 {
 		return nil, errNoBackendAvailable
@@ -535,7 +551,7 @@ func (g *Gateway) forward(ctx context.Context, method, rawQuery string, body []b
 			lastErr = errNoBackendAvailable
 			continue
 		}
-		res, err := g.tryHedged(ctx, backend, pick, method, rawQuery, body)
+		res, err := g.tryHedged(ctx, backend, pick, method, rawQuery, body, features)
 		if err == nil {
 			return res, nil
 		}
@@ -574,7 +590,7 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // tryHedged runs one attempt against primary; if HedgeDelay passes
 // with no reply, the same request is fired at the next admissible
 // replica and the first success wins. The loser is cancelled.
-func (g *Gateway) tryHedged(ctx context.Context, primary string, pick func() (string, bool), method, rawQuery string, body []byte) (*upstreamResult, error) {
+func (g *Gateway) tryHedged(ctx context.Context, primary string, pick func() (string, bool), method, rawQuery string, body []byte, features string) (*upstreamResult, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -585,7 +601,7 @@ func (g *Gateway) tryHedged(ctx context.Context, primary string, pick func() (st
 	results := make(chan outcome, 2)
 	launch := func(backend string) {
 		go func() {
-			res, err := g.do(ctx, backend, method, "/estimate", rawQuery, body)
+			res, err := g.do(ctx, backend, method, "/estimate", rawQuery, body, features)
 			results <- outcome{res, err}
 		}()
 	}
@@ -632,7 +648,7 @@ func (g *Gateway) tryHedged(ctx context.Context, primary string, pick func() (st
 // held against the backend. The remaining ctx budget is stamped on the
 // request as X-Deadline-Ms, so each retry or hedge hands the backend a
 // naturally smaller budget and late work is cancelled server-side.
-func (g *Gateway) do(ctx context.Context, backend, method, path, rawQuery string, body []byte) (*upstreamResult, error) {
+func (g *Gateway) do(ctx context.Context, backend, method, path, rawQuery string, body []byte, features string) (*upstreamResult, error) {
 	u := backend + path
 	if rawQuery != "" {
 		u += "?" + rawQuery
@@ -658,6 +674,9 @@ func (g *Gateway) do(ctx context.Context, backend, method, path, rawQuery string
 	obs.Inject(ctx, req.Header)
 	if rem, ok := resilience.Remaining(ctx); ok {
 		resilience.SetBudget(req.Header, rem)
+	}
+	if features != "" {
+		req.Header.Set(serve.FeaturesHeader, features)
 	}
 	start := time.Now()
 	resp, err := g.client.Do(req)
@@ -711,6 +730,15 @@ func (g *Gateway) do(ctx context.Context, backend, method, path, rawQuery string
 		res.degraded = true
 		g.metrics.Degraded(backend)
 		sp.SetAttr("degraded", "true")
+	}
+	res.features = resp.Header.Get(serve.FeaturesHeader)
+	if mode := resp.Header.Get(serve.StoreHeader); mode != "" {
+		// The backend answered through its threshold store — a verified
+		// skip or a warm-started search — so the gateway can report
+		// per-backend transfer rates without parsing bodies.
+		res.storeMode = mode
+		g.metrics.StoreTransfer(backend, mode)
+		sp.SetAttr("store", mode)
 	}
 	sp.Finish()
 	return res, nil

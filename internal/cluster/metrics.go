@@ -31,6 +31,7 @@ type Metrics struct {
 	probes    map[string]uint64 // key: backend + "\x00" + "ok"|"fail"
 	shed      map[string]uint64 // key: backend (429 answers from it)
 	degraded  map[string]uint64 // key: backend (degraded-but-usable answers)
+	transfers map[string]uint64 // key: backend + "\x00" + store mode ("skip"|"warm")
 	deadlines uint64            // requests that ran out of budget end to end
 	started   time.Time
 
@@ -47,6 +48,7 @@ func NewMetrics() *Metrics {
 		probes:    make(map[string]uint64),
 		shed:      make(map[string]uint64),
 		degraded:  make(map[string]uint64),
+		transfers: make(map[string]uint64),
 		started:   time.Now(),
 	}
 }
@@ -117,6 +119,30 @@ func (m *Metrics) Degraded(backend string) {
 	m.mu.Lock()
 	m.degraded[backend]++
 	m.mu.Unlock()
+}
+
+// StoreTransfer records one answer from backend whose threshold came
+// through the hetstore transfer path: mode "skip" for a probe-verified
+// transfer, "warm" for a warm-started search.
+func (m *Metrics) StoreTransfer(backend, mode string) {
+	m.mu.Lock()
+	m.transfers[backend+"\x00"+mode]++
+	m.mu.Unlock()
+}
+
+// StoreTransferCounts returns the transfer totals summed over backends
+// (tests, bench).
+func (m *Metrics) StoreTransferCounts() (skips, warms uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, v := range m.transfers {
+		if strings.HasSuffix(k, "\x00skip") {
+			skips += v
+		} else if strings.HasSuffix(k, "\x00warm") {
+			warms += v
+		}
+	}
+	return skips, warms
 }
 
 // DeadlineExceeded records one client request that exhausted its
@@ -208,6 +234,16 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	}
 	for _, k := range sortedKeys(m.degraded) {
 		if err := p("hetgate_degraded_by_backend_total{backend=%q} %d\n", k, m.degraded[k]); err != nil {
+			return n, err
+		}
+	}
+
+	if err := p("# HELP hetgate_store_transfers_total Threshold-store transfers observed on backend answers, by mode (skip = probe-verified, warm = warm-started search).\n# TYPE hetgate_store_transfers_total counter\n"); err != nil {
+		return n, err
+	}
+	for _, k := range sortedKeys(m.transfers) {
+		backend, mode, _ := strings.Cut(k, "\x00")
+		if err := p("hetgate_store_transfers_total{backend=%q,mode=%q} %d\n", backend, mode, m.transfers[k]); err != nil {
 			return n, err
 		}
 	}

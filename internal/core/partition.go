@@ -32,6 +32,63 @@ type Config struct {
 	// parallelism changes wall-clock time only, never the estimate,
 	// the per-repeat RNG streams, or the simulated cost accounting.
 	Parallelism int
+	// WarmStart, when non-nil, narrows every repeat's Identify window
+	// around a transferred threshold (see WarmStart). The estimate
+	// stays a real search — it just starts where a structurally
+	// similar input already found its balance.
+	WarmStart *WarmStart
+}
+
+// DefaultWarmWindow is the half-width of the warm-started Identify
+// window, in threshold units of the sample's search range.
+const DefaultWarmWindow = 8
+
+// WarmStart seeds the Identify stage from a threshold transferred
+// from a structurally similar input (the hetstore transfer path). The
+// transferred threshold is a *full-input* threshold; each repeat maps
+// it back into the sample's threshold space (via InverseExtrapolator
+// when the workload implements it, identity otherwise), then sweeps
+// only [seed-Window, seed+Window] intersected with the sample range.
+// An empty intersection falls back to the full range — a bad transfer
+// costs nothing but the warm window's evaluations.
+type WarmStart struct {
+	// Threshold is the transferred full-input threshold.
+	Threshold float64
+	// Window is the half-width of the narrowed window; <= 0 selects
+	// DefaultWarmWindow.
+	Window float64
+}
+
+// InverseExtrapolator is implemented by workloads whose Extrapolate
+// step is not the identity: it maps a full-input threshold back into
+// the sample's threshold space, so a transferred threshold can seed a
+// warm-started sample search.
+type InverseExtrapolator interface {
+	InverseExtrapolate(full float64) float64
+}
+
+// warmWindow narrows [lo, hi] around the warm-start seed. It returns
+// the original range when the narrowed window is empty.
+func warmWindow(w Sampled, ws *WarmStart, lo, hi float64) (float64, float64) {
+	seed := ws.Threshold
+	if inv, ok := w.(InverseExtrapolator); ok {
+		seed = inv.InverseExtrapolate(seed)
+	}
+	win := ws.Window
+	if win <= 0 {
+		win = DefaultWarmWindow
+	}
+	nlo, nhi := seed-win, seed+win
+	if nlo < lo {
+		nlo = lo
+	}
+	if nhi > hi {
+		nhi = hi
+	}
+	if nlo >= nhi {
+		return lo, hi
+	}
+	return nlo, nhi
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +175,9 @@ func EstimateThreshold(ctx context.Context, w Sampled, cfg Config) (est *Estimat
 			return 0, SearchResult{}, err
 		}
 		lo, hi := rangeOf(sw, c)
+		if c.WarmStart != nil {
+			lo, hi = warmWindow(w, c.WarmStart, lo, hi)
+		}
 		res, err := identifyStage(repCtx, c.Searcher, w, sw, lo, hi, rep)
 		if err != nil {
 			return 0, SearchResult{}, err

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/sparse"
+	"repro/internal/stats"
 	"repro/internal/xrand"
 )
 
@@ -379,18 +380,10 @@ func (g *Graph) SampleVertices(r *xrand.Rand, k int) []int {
 
 // DegreeCV returns the coefficient of variation of the degree
 // distribution, the irregularity statistic charged by the GPU model.
+// It delegates to the shared structural-statistics implementation
+// (stats.MomentsOf) so the simulator, the threshold store and hetgen
+// all agree on one definition — this used to be a hand-rolled copy
+// with its own degenerate-input conventions.
 func (g *Graph) DegreeCV() float64 {
-	if g.N == 0 {
-		return 0
-	}
-	mean := float64(len(g.Adj)) / float64(g.N)
-	if mean == 0 {
-		return 0
-	}
-	var ss float64
-	for u := 0; u < g.N; u++ {
-		d := float64(g.Degree(u)) - mean
-		ss += d * d
-	}
-	return math.Sqrt(ss/float64(g.N)) / mean
+	return stats.MomentsOf(g.N, g.Degree).CV
 }

@@ -31,8 +31,9 @@ type Workload struct {
 }
 
 var (
-	_ core.Sampled = (*Workload)(nil)
-	_ core.Ranger  = (*Workload)(nil)
+	_ core.Sampled             = (*Workload)(nil)
+	_ core.Ranger              = (*Workload)(nil)
+	_ core.InverseExtrapolator = (*Workload)(nil)
 )
 
 // NewWorkload profiles A×A and wraps it for density-threshold
@@ -128,6 +129,18 @@ func (w *Workload) Extrapolate(tSample float64) float64 {
 	lo := math.Pow(tSample, inv)
 	hi := math.Pow(tSample+1, inv)
 	return (lo + hi) / 2
+}
+
+// InverseExtrapolate implements core.InverseExtrapolator: it maps a
+// full-input density threshold back into the sample's threshold space
+// (t_s = t_A^e, the inverse of the t_A = t_s^(1/e) rule above), so a
+// threshold transferred from a structurally similar input can seed a
+// warm-started sample search.
+func (w *Workload) InverseExtrapolate(full float64) float64 {
+	if full <= 0 {
+		return 0
+	}
+	return math.Pow(full, w.exponent())
 }
 
 // FitExtrapolation reproduces the paper's offline study that discovers

@@ -200,6 +200,22 @@ type Platform struct {
 	Link *Link
 }
 
+// Signature returns a compact identity string for the platform's
+// performance-relevant configuration. The threshold store records it
+// with every entry: a threshold estimated on one platform does not
+// silently transfer to another — a signature mismatch at lookup time
+// is treated as drift (warm-start only, background re-estimation).
+func (p *Platform) Signature() string {
+	dev := func(d *Device) string {
+		s := d.Spec
+		return fmt.Sprintf("%s:%dx%.4g:mb%.4g:dp%.3g:rp%.3g:ll%d",
+			s.Name, s.Cores, s.CoreRate, s.MemBandwidth,
+			s.DivergencePenalty, s.RandomAccessPenalty, s.LaunchLatency.Nanoseconds())
+	}
+	return fmt.Sprintf("cpu{%s}gpu{%s}link{%.4g:%d}",
+		dev(p.CPU), dev(p.GPU), p.Link.Bandwidth, p.Link.Latency.Nanoseconds())
+}
+
 // Overlap returns the wall-clock time of two device phases running
 // concurrently (the heterogeneous algorithms overlap CPU and GPU
 // computation and wait for both).

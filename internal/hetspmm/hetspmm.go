@@ -20,11 +20,11 @@ package hetspmm
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"repro/internal/hetsim"
 	"repro/internal/sparse"
+	"repro/internal/stats"
 )
 
 // Cost-model constants: cycle-equivalent ops and bytes per unit of
@@ -156,28 +156,18 @@ func (p *Profile) SplitRow(r float64) int {
 const cvBucket = 32
 
 // rangeCV returns the coefficient of variation of the bucketed load
-// over rows [lo, hi).
+// over rows [lo, hi), delegating to the shared moment implementation
+// in internal/stats so the simulator and the threshold store agree on
+// the irregularity statistic.
 func (p *Profile) rangeCV(lo, hi int) float64 {
-	if hi-lo < 2*cvBucket {
+	nb := (hi - lo) / cvBucket
+	if nb < 2 {
 		return 0
 	}
-	var sum, sq float64
-	n := 0
-	for b := lo; b+cvBucket <= hi; b += cvBucket {
-		v := float64(p.loadPrefix[b+cvBucket] - p.loadPrefix[b])
-		sum += v
-		sq += v * v
-		n++
-	}
-	mean := sum / float64(n)
-	if mean <= 0 {
-		return 0
-	}
-	variance := sq/float64(n) - mean*mean
-	if variance < 0 {
-		variance = 0
-	}
-	return math.Sqrt(variance) / mean
+	return stats.MomentsOf(nb, func(i int) int {
+		b := lo + i*cvBucket
+		return int(p.loadPrefix[b+cvBucket] - p.loadPrefix[b])
+	}).CV
 }
 
 // segment describes one device's share of the work in prefix terms.

@@ -20,6 +20,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/sparse"
+	"repro/internal/store"
 )
 
 // EstimateResponse is the JSON answer of /estimate. Durations are
@@ -56,6 +57,24 @@ type EstimateResponse struct {
 	// shed under overload and answered from a stale cache entry or the
 	// NaiveStatic fallback instead of a fresh pipeline run.
 	Degraded bool `json:"degraded,omitempty"`
+
+	// StoreHit reports that the threshold store held a structurally
+	// similar neighbor within the transfer radius.
+	StoreHit bool `json:"store_hit,omitempty"`
+	// Transferred marks a probe-verified transfer: Identify was
+	// skipped entirely and Threshold is the neighbor's, verified at
+	// full scale by the probe.
+	Transferred bool `json:"store_transferred,omitempty"`
+	// WarmStarted marks an estimate whose Identify window was
+	// narrowed around the neighbor's threshold.
+	WarmStarted bool `json:"store_warm_started,omitempty"`
+	// StoreNeighbor/StoreDistance identify the matched entry.
+	StoreNeighbor string  `json:"store_neighbor,omitempty"`
+	StoreDistance float64 `json:"store_distance,omitempty"`
+	// Features is the input's structural feature vector in wire form
+	// (see store.ParseFeatures); present when the store is enabled.
+	Features string `json:"features,omitempty"`
+
 	// WallMS is the server-side handling time of this request.
 	WallMS float64 `json:"wall_ms"`
 }
@@ -215,6 +234,7 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 		resp := e.resp // copy; Cached/Stale/WallMS are per-request
 		resp.Cached = true
 		s.metrics.CacheHit()
+		s.stampStoreHeaders(w, &resp)
 		if !s.stale(e.at) {
 			return &resp, nil
 		}
@@ -240,6 +260,16 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 	// only helps after the first completes. Followers inherit the
 	// leader's outcome, deadline included; that is the usual
 	// singleflight trade and estimation results are request-agnostic.
+	// A client (or gateway) that already knows the upload's structural
+	// features may send them along; the hint only steers the store
+	// lookup, so a malformed header is ignored rather than rejected.
+	var hint *store.Features
+	if v := r.Header.Get(FeaturesHeader); v != "" && s.store != nil {
+		if f, err := store.ParseFeatures(v); err == nil {
+			hint = &f
+		}
+	}
+
 	v, err, leader := s.flight.Do(cacheKey, func() (any, error) {
 		s.metrics.CacheMiss()
 		// Anchored at arrival, not here: with a propagated budget this
@@ -247,7 +277,7 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 		// reading the upload ate a slice of the budget already.
 		ctx, cancel := context.WithDeadline(r.Context(), start.Add(timeout))
 		defer cancel()
-		return s.runPipeline(ctx, cacheKey, workload, input, body, searcher, seed, repeats)
+		return s.runPipeline(ctx, cacheKey, workload, input, body, searcher, seed, repeats, hint)
 	})
 	if err != nil {
 		if errors.Is(err, resilience.ErrOverloaded) {
@@ -269,7 +299,26 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 		// follower's server span so the coalescing is visible there too.
 		obs.SpanFromContext(r.Context()).SetAttr("coalesced", "true")
 	}
+	s.stampStoreHeaders(w, &resp)
 	return &resp, nil
+}
+
+// stampStoreHeaders surfaces the transfer outcome as response headers
+// so the gateway can count per-backend transfer rates without parsing
+// bodies. Only freshly computed answers are stamped: a cached copy of
+// a transferred response did not transfer anything this time.
+func (s *Server) stampStoreHeaders(w http.ResponseWriter, resp *EstimateResponse) {
+	if resp.Features != "" {
+		w.Header().Set(FeaturesHeader, resp.Features)
+	}
+	if resp.Cached || resp.Coalesced {
+		return
+	}
+	if resp.Transferred {
+		w.Header().Set(StoreHeader, "skip")
+	} else if resp.WarmStarted {
+		w.Header().Set(StoreHeader, "warm")
+	}
 }
 
 // shedFallback builds the graceful-degradation answer for a shed
@@ -318,7 +367,7 @@ func (s *Server) revalidate(cacheKey, workload, input string, body []byte, searc
 		defer cancel()
 		_, err, _ := s.flight.Do(cacheKey, func() (any, error) {
 			s.metrics.CacheMiss()
-			return s.runPipeline(ctx, cacheKey, workload, input, body, searcher, seed, repeats)
+			return s.runPipeline(ctx, cacheKey, workload, input, body, searcher, seed, repeats, nil)
 		})
 		if err != nil && !errors.Is(err, resilience.ErrOverloaded) {
 			s.logger.Warn("stale revalidation failed",
@@ -330,17 +379,83 @@ func (s *Server) revalidate(cacheKey, workload, input string, body []byte, searc
 }
 
 // runPipeline executes the Sample → Identify → Extrapolate pipeline
-// for one cache miss: pass admission, acquire a worker slot, build the
-// workload, run the estimation, and cache the result.
-func (s *Server) runPipeline(ctx context.Context, cacheKey, workload, input string, body []byte, searcher core.Searcher, seed uint64, repeats int) (*EstimateResponse, error) {
+// for one cache miss. Without a threshold store: pass admission,
+// acquire a worker slot, build the workload, run the estimation, and
+// cache the result. With one, the store path (runStorePipeline) builds
+// first so the structural features can steer a transfer.
+func (s *Server) runPipeline(ctx context.Context, cacheKey, workload, input string, body []byte, searcher core.Searcher, seed uint64, repeats int, hint *store.Features) (*EstimateResponse, error) {
+	if s.store != nil {
+		return s.runStorePipeline(ctx, cacheKey, workload, input, body, searcher, seed, repeats, hint)
+	}
 	// Admission first: the controller bounds the total estimated cost
 	// (grid points × repeats) in flight and sheds instead of queuing
 	// unboundedly, so a flood of expensive requests turns into fast
 	// 429s rather than a deep queue of doomed work.
+	release, err := s.admit(ctx, searchCost(searcher, repeats))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	if err := s.acquireWorker(ctx); err != nil {
+		return nil, err
+	}
+	defer s.pool.Release()
+
+	cw, err := s.buildWorkload(ctx, workload, input, body)
+	if err != nil {
+		return nil, err
+	}
+	return s.searchAndRespond(ctx, cacheKey, workload, input, cw, searcher, seed, repeats, storeMeta{}, store.Neighbor{})
+}
+
+// runStorePipeline is runPipeline with the threshold store in the
+// loop. The worker slot comes first — it bounds builds and probes as
+// well as searches — and admission is charged per path: probeCost for
+// a verified transfer, a window-scaled cost for a warm-started search,
+// the full search cost for a cold run. A store hit therefore consumes
+// no admission capacity beyond its probe, which is what lets a warm
+// store keep answering while admission sheds fresh Identify work.
+func (s *Server) runStorePipeline(ctx context.Context, cacheKey, workload, input string, body []byte, searcher core.Searcher, seed uint64, repeats int, hint *store.Features) (*EstimateResponse, error) {
+	storeKey, _, _ := strings.Cut(cacheKey, "|")
+	if err := s.acquireWorker(ctx); err != nil {
+		return nil, err
+	}
+	defer s.pool.Release()
+
+	cw, err := s.buildWorkload(ctx, workload, input, body)
+	if err != nil {
+		return nil, err
+	}
+	meta, n := s.storeLookup(ctx, workload, storeKey, cw, hint)
+	if meta.hit && s.store.CanSkip(n) {
+		resp, ok, err := s.probeTransfer(ctx, cacheKey, workload, input, storeKey, cw, n, meta, searcher, seed, repeats)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return resp, nil
+		}
+		// Probe rejected or shed: fall through to the warm path.
+	}
 	cost := searchCost(searcher, repeats)
+	if meta.warm != nil {
+		cost = warmSearchCost(searcher, repeats)
+	}
+	release, err := s.admit(ctx, cost)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return s.searchAndRespond(ctx, cacheKey, workload, input, cw, searcher, seed, repeats, meta, n)
+}
+
+// admit acquires admission cost units, under a span; the returned
+// func releases them.
+func (s *Server) admit(ctx context.Context, cost int64) (release func(), err error) {
 	_, aspan := obs.StartSpan(ctx, "admission.wait")
 	aspan.SetAttr("cost", strconv.FormatInt(cost, 10))
-	err := s.admission.Acquire(ctx, cost)
+	err = s.admission.Acquire(ctx, cost)
 	aspan.RecordError(err)
 	aspan.Finish()
 	if err != nil {
@@ -350,24 +465,30 @@ func (s *Server) runPipeline(ctx context.Context, cacheKey, workload, input stri
 		}
 		return nil, fmt.Errorf("waiting for admission: %w", err)
 	}
-	defer s.admission.Release(cost)
+	return func() { s.admission.Release(cost) }, nil
+}
 
-	// The pool bounds concurrent pipeline runs; waiters respect the
-	// request deadline, so a client that gives up never holds a slot.
+// acquireWorker takes a slot from the bounded worker pool, under a
+// span. Waiters respect the request deadline, so a client that gives
+// up never holds a slot.
+func (s *Server) acquireWorker(ctx context.Context) error {
 	_, pspan := obs.StartSpan(ctx, "pool.wait")
-	err = s.pool.Acquire(ctx)
+	err := s.pool.Acquire(ctx)
 	pspan.RecordError(err)
 	pspan.Finish()
 	if err != nil {
-		return nil, fmt.Errorf("waiting for worker: %w", err)
+		return fmt.Errorf("waiting for worker: %w", err)
 	}
-	defer s.pool.Release()
+	return nil
+}
 
-	cw, err := s.buildWorkload(ctx, workload, input, body)
-	if err != nil {
-		return nil, err
+// searchAndRespond runs the estimation search and the final full-input
+// evaluation on a built workload, folds in the store bookkeeping, and
+// caches the response. The caller holds admission and a worker slot.
+func (s *Server) searchAndRespond(ctx context.Context, cacheKey, workload, input string, cw core.Sampled, searcher core.Searcher, seed uint64, repeats int, meta storeMeta, n store.Neighbor) (*EstimateResponse, error) {
+	if meta.warm != nil {
+		s.metrics.StoreWarmStart()
 	}
-
 	// The metrics registry observes every Evaluate call the pipeline
 	// makes — sequential or fanned out — for the in-flight gauge.
 	ctx = core.WithEvalObserver(ctx, s.metrics)
@@ -376,6 +497,7 @@ func (s *Server) runPipeline(ctx context.Context, cacheKey, workload, input stri
 		Seed:        seed,
 		Repeats:     repeats,
 		Parallelism: s.cfg.Parallelism,
+		WarmStart:   meta.warm,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("estimating %s: %w", cw.Name(), err)
@@ -426,6 +548,23 @@ func (s *Server) runPipeline(ctx context.Context, cacheKey, workload, input stri
 	}
 	if overhead+runTime > 0 {
 		resp.OverheadPct = 100 * float64(overhead) / float64(overhead+runTime)
+	}
+	if s.store != nil && meta.hasFeatures {
+		resp.Features = meta.features.String()
+		if meta.hit {
+			resp.StoreHit = true
+			resp.StoreNeighbor = meta.neighbor
+			resp.StoreDistance = meta.distance
+		}
+		if meta.warm != nil {
+			resp.WarmStarted = true
+			s.observeWarmOutcome(workload, n, meta, est)
+		}
+		// Record this input's own verified result so structurally
+		// similar future inputs can transfer from it. storeKey is the
+		// cache key's input component — the part before the first "|".
+		storeKey, _, _ := strings.Cut(cacheKey, "|")
+		s.store.Put(workload, storeKey, s.platformSig, meta.features, est.Threshold, int64(runTime))
 	}
 	s.cache.Put(cacheKey, cacheEntry{resp: resp, at: time.Now()})
 	return &resp, nil

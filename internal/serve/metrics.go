@@ -50,9 +50,23 @@ type Metrics struct {
 	staleServed      uint64
 	deadlineExceeded uint64
 
+	// Threshold-store (hetstore) accounting: lookups that found a
+	// transferable neighbor, warm-started searches, probe-verified
+	// skips of Identify, probes attempted, probes rejected, and
+	// background re-estimations triggered by drift or low confidence.
+	storeHits        uint64
+	storeWarmStarts  uint64
+	storeSkips       uint64
+	storeProbes      uint64
+	storeRejects     uint64
+	storeReestimates uint64
+
 	// cacheStats reports live cache occupancy and evictions at scrape
 	// time; set by the Server that owns the LRU.
 	cacheStats func() CacheStats
+	// storeStats reports live threshold-store entry count at scrape
+	// time; nil when the store is disabled.
+	storeStats func() int
 	// admissionStats reports the admission controller's live queue
 	// depth and cost occupancy at scrape time.
 	admissionStats func() AdmissionStats
@@ -159,6 +173,64 @@ func (m *Metrics) StaleServed() {
 func (m *Metrics) DeadlineExceeded() {
 	m.mu.Lock()
 	m.deadlineExceeded++
+	m.mu.Unlock()
+}
+
+// StoreHit records a store lookup that found a transferable neighbor.
+func (m *Metrics) StoreHit() {
+	m.mu.Lock()
+	m.storeHits++
+	m.mu.Unlock()
+}
+
+// StoreWarmStart records a search warm-started from a store neighbor.
+func (m *Metrics) StoreWarmStart() {
+	m.mu.Lock()
+	m.storeWarmStarts++
+	m.mu.Unlock()
+}
+
+// StoreSkip records an Identify skipped entirely: the transferred
+// threshold passed its verification probe.
+func (m *Metrics) StoreSkip() {
+	m.mu.Lock()
+	m.storeSkips++
+	m.mu.Unlock()
+}
+
+// StoreProbe records a transfer-verification probe attempt.
+func (m *Metrics) StoreProbe() {
+	m.mu.Lock()
+	m.storeProbes++
+	m.mu.Unlock()
+}
+
+// StoreReject records a probe that rejected the transferred threshold.
+func (m *Metrics) StoreReject() {
+	m.mu.Lock()
+	m.storeRejects++
+	m.mu.Unlock()
+}
+
+// StoreReestimate records a background re-estimation of a store entry.
+func (m *Metrics) StoreReestimate() {
+	m.mu.Lock()
+	m.storeReestimates++
+	m.mu.Unlock()
+}
+
+// StoreCounts returns the store counter totals (tests).
+func (m *Metrics) StoreCounts() (hits, warmStarts, skips, probes, rejects, reestimates uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.storeHits, m.storeWarmStarts, m.storeSkips, m.storeProbes, m.storeRejects, m.storeReestimates
+}
+
+// SetStoreStats registers a callback reporting live threshold-store
+// occupancy, rendered at /metrics.
+func (m *Metrics) SetStoreStats(fn func() int) {
+	m.mu.Lock()
+	m.storeStats = fn
 	m.mu.Unlock()
 }
 
@@ -292,6 +364,27 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	}
 	if err := p("# HELP hetserve_deadline_exceeded_total Requests that ran out of their (propagated) deadline budget.\n# TYPE hetserve_deadline_exceeded_total counter\nhetserve_deadline_exceeded_total %d\n", m.deadlineExceeded); err != nil {
 		return n, err
+	}
+	storeLines := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"hetserve_store_hits_total", "Store lookups that found a transferable neighbor.", m.storeHits},
+		{"hetserve_store_warm_starts_total", "Searches warm-started from a store neighbor.", m.storeWarmStarts},
+		{"hetserve_store_skips_total", "Identify phases skipped via probe-verified transfer.", m.storeSkips},
+		{"hetserve_store_probes_total", "Transfer-verification probes attempted.", m.storeProbes},
+		{"hetserve_store_rejects_total", "Probes that rejected the transferred threshold.", m.storeRejects},
+		{"hetserve_store_reestimates_total", "Background re-estimations of store entries.", m.storeReestimates},
+	}
+	for _, l := range storeLines {
+		if err := p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", l.name, l.help, l.name, l.name, l.v); err != nil {
+			return n, err
+		}
+	}
+	if m.storeStats != nil {
+		if err := p("# HELP hetserve_store_entries Threshold-store entries currently held.\n# TYPE hetserve_store_entries gauge\nhetserve_store_entries %d\n", m.storeStats()); err != nil {
+			return n, err
+		}
 	}
 	if m.admissionStats != nil {
 		as := m.admissionStats()

@@ -25,12 +25,14 @@ import (
 	"hash/fnv"
 	"log/slog"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/flight"
 	"repro/internal/hetsim"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/store"
 )
 
 // Config controls a Server.
@@ -90,6 +92,11 @@ type Config struct {
 	Faults *resilience.Faults
 	// FaultBackend is this replica's index for fault-rule matching.
 	FaultBackend int
+
+	// Store is the structure-keyed threshold store (hetstore); nil
+	// disables cross-input transfer. The store may be shared by many
+	// Servers (an embedded cluster shares one process-wide store).
+	Store *store.Store
 }
 
 // Defaults for Config zero values.
@@ -114,6 +121,13 @@ type Server struct {
 	logger    *slog.Logger
 	mux       *http.ServeMux
 	handler   http.Handler
+
+	// Threshold-store state (nil store disables the transfer path).
+	store       *store.Store
+	platformSig string
+	reestimates flight.Group
+	featMu      sync.Mutex
+	feats       map[string]store.Features
 }
 
 // New builds a Server from cfg.
@@ -149,6 +163,12 @@ func New(cfg Config) *Server {
 	}
 	if s.platform == nil {
 		s.platform = hetsim.Default()
+	}
+	s.store = cfg.Store
+	s.platformSig = s.platform.Signature()
+	s.feats = make(map[string]store.Features)
+	if s.store != nil {
+		s.metrics.SetStoreStats(s.store.Len)
 	}
 	s.metrics.SetCacheStats(s.cache.Stats)
 	s.metrics.SetAdmissionStats(func() AdmissionStats {
@@ -194,6 +214,9 @@ func (s *Server) Admission() *resilience.Admission { return s.admission }
 
 // Sink exposes the span sink (tests, embedded clusters).
 func (s *Server) Sink() *obs.Sink { return s.sink }
+
+// Store exposes the threshold store, nil when disabled (tests, CLIs).
+func (s *Server) Store() *store.Store { return s.store }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/hetsim"
+	"repro/internal/sparse"
+	"repro/internal/store"
+)
+
+// storeServer builds a Server with the given threshold store attached
+// and returns both the Server (for metrics/store introspection) and
+// its test listener.
+func storeServer(t *testing.T, st *store.Store, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.Store = st
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 64
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = testLogger(t)
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// postMTXResp posts a MatrixMarket body and returns the decoded JSON
+// plus the response headers.
+func postMTXResp(t *testing.T, url string, body []byte) (map[string]any, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s = %d\n%s", url, resp.StatusCode, raw)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, raw)
+	}
+	return out, resp.Header
+}
+
+// estimateURL is the upload endpoint all store tests use: exhaustive
+// search with one repeat makes evaluation counts exact (101 sweep + 1
+// final = 102 cold; 17-point warm window + 1 final = 18 warm; 3 for a
+// verified probe).
+const estimateURL = "/estimate?workload=spmm&searcher=exhaustive&repeats=1"
+
+// TestStoreWarmTransferCutsEvals — the tentpole's core promise: a
+// structurally similar input warm-starts the Identify sweep, spending
+// over 5x fewer threshold evaluations than a cold search while landing
+// on a result of equal quality.
+func TestStoreWarmTransferCutsEvals(t *testing.T) {
+	a := genMTX(t, 3000, 30000, 3)
+	b := genMTX(t, 3000, 30000, 4) // distinct fingerprint, same structure
+
+	// Cold baseline for b on a store-less server.
+	coldSrv := New(Config{Logger: testLogger(t)})
+	coldTS := httptest.NewServer(coldSrv.Handler())
+	defer coldTS.Close()
+	coldResp := postMTX(t, coldTS.URL+estimateURL, b, http.StatusOK)
+	coldEvals := coldSrv.Metrics().EvalsTotal()
+	coldRT := coldResp["run_time_simulated_ns"].(float64)
+
+	st, err := store.Open(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := storeServer(t, st, Config{})
+
+	// First input: cold search, but its result seeds the store.
+	respA, _ := postMTXResp(t, ts.URL+estimateURL, a)
+	if respA["store_hit"] != nil {
+		t.Errorf("first request reported store_hit = %v", respA["store_hit"])
+	}
+	if respA["features"] == "" || respA["features"] == nil {
+		t.Error("first request missing features")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d entries after first estimate, want 1", st.Len())
+	}
+
+	warmBase := s.Metrics().EvalsTotal()
+	respB, hdr := postMTXResp(t, ts.URL+estimateURL, b)
+	warmEvals := s.Metrics().EvalsTotal() - warmBase
+
+	if respB["store_hit"] != true || respB["store_warm_started"] != true {
+		t.Errorf("second request: store_hit=%v warm_started=%v, want both true", respB["store_hit"], respB["store_warm_started"])
+	}
+	if got := hdr.Get(StoreHeader); got != "warm" {
+		t.Errorf("%s = %q, want \"warm\"", StoreHeader, got)
+	}
+	if respB["store_neighbor"] != "upload:"+Fingerprint(a) {
+		t.Errorf("store_neighbor = %v, want a's key", respB["store_neighbor"])
+	}
+	if coldEvals < 5*warmEvals {
+		t.Errorf("warm evals %d not 5x below cold %d", warmEvals, coldEvals)
+	}
+	warmRT := respB["run_time_simulated_ns"].(float64)
+	if math.Abs(warmRT-coldRT) > 0.05*coldRT {
+		t.Errorf("warm run time %v strays more than 5%% from cold %v", warmRT, coldRT)
+	}
+
+	// The warm search settled in the window's interior, which counts as
+	// a successful transfer for a's entry.
+	e, ok := st.Get(WorkloadSpMM, "upload:"+Fingerprint(a))
+	if !ok {
+		t.Fatal("a's entry vanished")
+	}
+	if e.Confidence <= 0.5 {
+		t.Errorf("neighbor confidence = %v, want a boost above the initial 0.5", e.Confidence)
+	}
+	hits, warms, _, _, _, _ := s.Metrics().StoreCounts()
+	if hits != 1 || warms != 1 {
+		t.Errorf("store counters hits=%d warms=%d, want 1/1", hits, warms)
+	}
+}
+
+// TestStoreSkipVerifiedTransfer — with the skip gate below the initial
+// confidence, a transferable neighbor skips Identify entirely: three
+// probe evaluations replace the whole sweep, and the answer still
+// matches a cold search within the verification tolerance.
+func TestStoreSkipVerifiedTransfer(t *testing.T) {
+	a := genMTX(t, 3000, 30000, 7)
+	b := genMTX(t, 3000, 30000, 8)
+
+	coldSrv := New(Config{Logger: testLogger(t)})
+	coldTS := httptest.NewServer(coldSrv.Handler())
+	defer coldTS.Close()
+	coldResp := postMTX(t, coldTS.URL+estimateURL, b, http.StatusOK)
+	coldRT := coldResp["run_time_simulated_ns"].(float64)
+
+	st, err := store.Open(store.Config{SkipConfidence: 0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := storeServer(t, st, Config{})
+	postMTX(t, ts.URL+estimateURL, a, http.StatusOK)
+
+	base := s.Metrics().EvalsTotal()
+	respB, hdr := postMTXResp(t, ts.URL+estimateURL, b)
+	probeEvals := s.Metrics().EvalsTotal() - base
+
+	if respB["store_transferred"] != true {
+		t.Fatalf("store_transferred = %v, want true", respB["store_transferred"])
+	}
+	if got := hdr.Get(StoreHeader); got != "skip" {
+		t.Errorf("%s = %q, want \"skip\"", StoreHeader, got)
+	}
+	if probeEvals != 3 {
+		t.Errorf("probe spent %d evaluations, want 3", probeEvals)
+	}
+	skipRT := respB["run_time_simulated_ns"].(float64)
+	if math.Abs(skipRT-coldRT) > 0.05*coldRT {
+		t.Errorf("transferred run time %v strays more than 5%% from cold %v", skipRT, coldRT)
+	}
+	_, _, skips, probes, rejects, _ := s.Metrics().StoreCounts()
+	if skips != 1 || probes != 1 || rejects != 0 {
+		t.Errorf("store counters skips=%d probes=%d rejects=%d, want 1/1/0", skips, probes, rejects)
+	}
+	// The verified result was recorded under b's own key and cached.
+	if st.Len() != 2 {
+		t.Errorf("store holds %d entries, want 2", st.Len())
+	}
+	again := postMTX(t, ts.URL+estimateURL, b, http.StatusOK)
+	if again["cached"] != true {
+		t.Error("repeat of a transferred answer missed the result cache")
+	}
+}
+
+// TestStoreProbeRejectFallsBackAndReestimates — a poisoned entry (bad
+// threshold, structurally matching features) fails its verification
+// probe, falls back to a warm search, loses confidence, and triggers a
+// background re-estimation that repairs the entry.
+func TestStoreProbeRejectFallsBackAndReestimates(t *testing.T) {
+	b := genMTX(t, 3000, 30000, 5)
+	m, err := sparse.Generate(sparse.GenConfig{
+		Class: sparse.ClassPowerLaw, Rows: 3000, NNZ: 30000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := store.FromCSR(m)
+
+	// Zero probe tolerance: any slope at the transferred threshold
+	// rejects, and 90 sits far up the CPU-heavy slope.
+	st, err := store.Open(store.Config{
+		SkipConfidence: 0.45,
+		ProbeTolerance: 1e-9,
+		Radius:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const poisonKey = "dataset:qcd5_4"
+	st.Put(WorkloadSpMM, poisonKey, hetsim.Default().Signature(), f, 90, 1)
+
+	s, ts := storeServer(t, st, Config{})
+	resp, hdr := postMTXResp(t, ts.URL+estimateURL, b)
+	if resp["store_transferred"] == true {
+		t.Fatal("poisoned transfer passed its probe")
+	}
+	if resp["store_hit"] != true || resp["store_warm_started"] != true {
+		t.Errorf("reject should fall back to warm: hit=%v warm=%v", resp["store_hit"], resp["store_warm_started"])
+	}
+	if got := hdr.Get(StoreHeader); got != "warm" {
+		t.Errorf("%s = %q, want \"warm\"", StoreHeader, got)
+	}
+	_, _, skips, probes, rejects, _ := s.Metrics().StoreCounts()
+	if probes != 1 || rejects != 1 || skips != 0 {
+		t.Errorf("store counters probes=%d rejects=%d skips=%d, want 1/1/0", probes, rejects, skips)
+	}
+
+	// The reject halved confidence below the floor; the warm search
+	// ran into the window edge and halved it again. Either crossing
+	// schedules the background refresh, which rebuilds the dataset and
+	// restores the entry.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		e, ok := st.Get(WorkloadSpMM, poisonKey)
+		if ok && e.Threshold != 90 && e.Confidence >= 0.5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("entry not re-estimated in time: %+v", e)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, _, _, _, _, reest := s.Metrics().StoreCounts(); reest == 0 {
+		t.Error("reestimate counter did not move")
+	}
+}
+
+// TestStoreProbeFitsWhereColdSheds — the admission contract of the
+// ISSUE: a store hit must not consume admission capacity beyond its
+// probe. With almost all admission units held, a verified transfer
+// (cost 3) still answers 200 while a fresh cold estimate sheds 429.
+func TestStoreProbeFitsWhereColdSheds(t *testing.T) {
+	a := genMTX(t, 3000, 30000, 6)
+	b := genMTX(t, 3000, 30000, 7)
+	c := genMTX(t, 400, 2000, 8) // structurally distant: misses the store
+
+	st, err := store.Open(store.Config{SkipConfidence: 0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := storeServer(t, st, Config{
+		AdmissionLimit: 200,
+		AdmissionQueue: -1, // shed immediately, never queue
+	})
+	// Seed the store while admission is still free.
+	postMTX(t, ts.URL+estimateURL, a, http.StatusOK)
+
+	// Hold all but 4 units: a probe (3) fits, a cold sweep (102) does
+	// not.
+	if err := s.Admission().Acquire(context.Background(), 196); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Admission().Release(196)
+
+	resp, _ := postMTXResp(t, ts.URL+estimateURL, b)
+	if resp["store_transferred"] != true {
+		t.Errorf("store hit under overload: transferred=%v, want true", resp["store_transferred"])
+	}
+
+	r, err := http.Post(ts.URL+estimateURL, "text/plain", bytes.NewReader(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("cold request under overload = %d, want 429", r.StatusCode)
+	}
+}
+
+// TestStoreFeatureHintHeader — a request carrying the features header
+// skips the server-side feature scan but still lands the same
+// transfer; the response echoes the features it used.
+func TestStoreFeatureHintHeader(t *testing.T) {
+	a := genMTX(t, 3000, 30000, 10)
+	b := genMTX(t, 3000, 30000, 11)
+
+	st, err := store.Open(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := storeServer(t, st, Config{})
+	respA, hdrA := postMTXResp(t, ts.URL+estimateURL, a)
+	if hdrA.Get(FeaturesHeader) == "" {
+		t.Fatal("response missing features header")
+	}
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+estimateURL, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hint with a's features: close enough to a's entry that the
+	// lookup must still hit.
+	req.Header.Set(FeaturesHeader, respA["features"].(string))
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("hinted POST = %d\n%s", r.StatusCode, raw)
+	}
+	var respB map[string]any
+	if err := json.Unmarshal(raw, &respB); err != nil {
+		t.Fatal(err)
+	}
+	if respB["store_hit"] != true {
+		t.Errorf("hinted request missed the store: %v", respB["store_hit"])
+	}
+	if respB["features"] != respA["features"] {
+		t.Errorf("hinted features not echoed: got %v", respB["features"])
+	}
+}
+
+// TestStoreMetricsEndpoint — the hetserve_store_* series render at
+// /metrics, including the entries gauge.
+func TestStoreMetricsEndpoint(t *testing.T) {
+	a := genMTX(t, 3000, 30000, 11)
+	st, err := store.Open(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := storeServer(t, st, Config{})
+	postMTX(t, ts.URL+estimateURL, a, http.StatusOK)
+
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	for _, want := range []string{
+		"hetserve_store_hits_total 0",
+		"hetserve_store_warm_starts_total 0",
+		"hetserve_store_skips_total 0",
+		"hetserve_store_probes_total 0",
+		"hetserve_store_rejects_total 0",
+		"hetserve_store_reestimates_total 0",
+		"hetserve_store_entries 1",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

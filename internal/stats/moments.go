@@ -1,0 +1,77 @@
+package stats
+
+import "math"
+
+// Moments summarizes a per-item work distribution (nonzeros per row,
+// degrees per vertex) with the structural statistics the partitioning
+// stack keys on: the mean, the coefficient of variation (the
+// irregularity statistic charged by the device model), the skewness
+// (hub-heaviness — power-law inputs have large positive skew, meshes
+// sit near zero), and the maximum.
+//
+// This is the one shared implementation of these statistics: the
+// simulator's workload setup (graph.DegreeCV feeding hetsim's
+// divergence penalty), the threshold store's structural feature
+// vectors (internal/store) and hetgen's -features flag all call into
+// it. It previously lived as per-package copies that had drifted in
+// their empty/degenerate-input conventions; the unified rules are
+// those of CV/CVInts — fewer than two items or a non-positive mean
+// yield zero CV and zero skewness.
+type Moments struct {
+	// N is the number of items observed.
+	N int
+	// Mean is the arithmetic mean of the work counts.
+	Mean float64
+	// CV is the population coefficient of variation (stddev/mean);
+	// 0 for fewer than two items or a non-positive mean.
+	CV float64
+	// Skew is the population skewness (third standardized moment);
+	// 0 for fewer than two items or zero variance.
+	Skew float64
+	// Max is the largest work count (0 when N == 0).
+	Max int
+}
+
+// MomentsOf computes Moments over n items whose work counts are read
+// through the work callback (work(i) for 0 <= i < n). The callback
+// form lets CSR row counts and graph degrees feed the computation
+// without materializing an intermediate slice.
+func MomentsOf(n int, work func(i int) int) Moments {
+	m := Moments{N: n}
+	if n <= 0 {
+		return m
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		w := work(i)
+		if w > m.Max {
+			m.Max = w
+		}
+		sum += float64(w)
+	}
+	m.Mean = sum / float64(n)
+	if n < 2 || m.Mean <= 0 {
+		return m
+	}
+	var m2, m3 float64
+	for i := 0; i < n; i++ {
+		d := float64(work(i)) - m.Mean
+		d2 := d * d
+		m2 += d2
+		m3 += d2 * d
+	}
+	m2 /= float64(n)
+	m3 /= float64(n)
+	if m2 <= 0 {
+		return m
+	}
+	sd := math.Sqrt(m2)
+	m.CV = sd / m.Mean
+	m.Skew = m3 / (sd * sd * sd)
+	return m
+}
+
+// MomentsOfInts computes Moments over a slice of work counts.
+func MomentsOfInts(xs []int) Moments {
+	return MomentsOf(len(xs), func(i int) int { return xs[i] })
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMomentsOfIntsMatchesCVInts(t *testing.T) {
+	f := func(raw []uint8) bool {
+		ints := make([]int, len(raw))
+		floats := make([]float64, len(raw))
+		for i, v := range raw {
+			ints[i] = int(v)
+			floats[i] = float64(v)
+		}
+		return almostEq(MomentsOfInts(ints).CV, CV(floats), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMomentsOfDegenerate(t *testing.T) {
+	if m := MomentsOfInts(nil); m != (Moments{}) {
+		t.Errorf("empty input: got %+v, want zero value", m)
+	}
+	m := MomentsOfInts([]int{7})
+	if m.N != 1 || m.Mean != 7 || m.Max != 7 || m.CV != 0 || m.Skew != 0 {
+		t.Errorf("single item: got %+v", m)
+	}
+	// Zero mean: CV and Skew stay 0 by the CVInts convention.
+	m = MomentsOfInts([]int{0, 0, 0})
+	if m.CV != 0 || m.Skew != 0 || m.Mean != 0 {
+		t.Errorf("zero mean: got %+v", m)
+	}
+	// Constant positive values: zero variance.
+	m = MomentsOfInts([]int{5, 5, 5, 5})
+	if m.CV != 0 || m.Skew != 0 || m.Mean != 5 || m.Max != 5 {
+		t.Errorf("constants: got %+v", m)
+	}
+}
+
+func TestMomentsOfKnownValues(t *testing.T) {
+	// {1, 2, 3, 6}: mean 3, m2 = (4+1+0+9)/4 = 3.5,
+	// m3 = (-8-1+0+27)/4 = 4.5, sd = sqrt(3.5).
+	m := MomentsOfInts([]int{1, 2, 3, 6})
+	sd := math.Sqrt(3.5)
+	if !almostEq(m.Mean, 3, 1e-12) || m.Max != 6 || m.N != 4 {
+		t.Errorf("basic stats: got %+v", m)
+	}
+	if !almostEq(m.CV, sd/3, 1e-12) {
+		t.Errorf("CV = %v, want %v", m.CV, sd/3)
+	}
+	if !almostEq(m.Skew, 4.5/(sd*sd*sd), 1e-12) {
+		t.Errorf("Skew = %v, want %v", m.Skew, 4.5/(sd*sd*sd))
+	}
+}
+
+func TestMomentsSkewSign(t *testing.T) {
+	// Hub-heavy (power-law-like) counts skew positive; a mirror-image
+	// distribution skews negative; symmetric counts sit at zero.
+	hub := MomentsOfInts([]int{1, 1, 1, 1, 1, 1, 1, 40})
+	if hub.Skew <= 1 {
+		t.Errorf("hub-heavy skew = %v, want strongly positive", hub.Skew)
+	}
+	tail := MomentsOfInts([]int{40, 40, 40, 40, 40, 40, 40, 1})
+	if tail.Skew >= -1 {
+		t.Errorf("left-tailed skew = %v, want strongly negative", tail.Skew)
+	}
+	sym := MomentsOfInts([]int{2, 4, 6, 8})
+	if !almostEq(sym.Skew, 0, 1e-12) {
+		t.Errorf("symmetric skew = %v, want 0", sym.Skew)
+	}
+}
+
+func TestMomentsOfCallbackIndices(t *testing.T) {
+	// The callback must be invoked with exactly 0..n-1 on both passes.
+	seen := make([]int, 5)
+	m := MomentsOf(5, func(i int) int {
+		seen[i]++
+		return i + 1
+	})
+	for i, c := range seen {
+		if c != 2 {
+			t.Errorf("index %d visited %d times, want 2 (two passes)", i, c)
+		}
+	}
+	if m.Max != 5 || !almostEq(m.Mean, 3, 1e-12) {
+		t.Errorf("callback moments: got %+v", m)
+	}
+}

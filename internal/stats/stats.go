@@ -63,25 +63,9 @@ func CV(xs []float64) float64 {
 }
 
 // CVInts computes CV over integer work counts without an intermediate
-// float slice.
+// float slice. It is the CV column of MomentsOfInts.
 func CVInts(xs []int) float64 {
-	if len(xs) < 2 {
-		return 0
-	}
-	var sum float64
-	for _, x := range xs {
-		sum += float64(x)
-	}
-	mean := sum / float64(len(xs))
-	if mean <= 0 {
-		return 0
-	}
-	var ss float64
-	for _, x := range xs {
-		d := float64(x) - mean
-		ss += d * d
-	}
-	return math.Sqrt(ss/float64(len(xs))) / mean
+	return MomentsOfInts(xs).CV
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using
