@@ -31,6 +31,25 @@
 // proving the parallel engine actually helps where evaluations are
 // expensive. Cheap-evaluation cases (microsecond searches dominated by
 // fixed overhead) are exempt from the floor, not from regression.
+//
+// -mode batch switches to the BENCH_batch.json contract written by
+// hetgate -batch (N items through one /estimate-batch job versus the
+// same inputs as sequential /estimate calls). The environment refusals
+// are identical; the per-report checks gate only machine-independent
+// ratios and structural invariants, never absolute wall-clock:
+//
+//   - both arms must be error-free, and the job shape (items, rounds,
+//     backends) must match the baseline so ratios are comparable.
+//   - batch/sequential speedup must reach -batch-min-speedup (the
+//     amortization contract: 2x at 8 items) and must not regress below
+//     baseline by more than -speedup-tolerance.
+//   - time-to-first-result must stay under -ttfr-frac of
+//     time-to-last-result: the streaming dividend. A buffered
+//     implementation that holds results until the job ends shows
+//     TTFR == TTLR and fails here even if throughput looks fine.
+//   - admissions <= backends*rounds and builds <= items*rounds: one
+//     aggregate admission per sub-batch and at most one build per item
+//     are what the batch path exists to guarantee.
 package main
 
 import (
@@ -143,6 +162,119 @@ func diff(baseline, current benchReport, cfg gateConfig) []string {
 	return problems
 }
 
+// batchReport mirrors the BENCH_batch.json schema written by
+// hetgate -batch (cmd/hetgate batchBenchReport). Only the fields the
+// gate reads are declared.
+type batchReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	Backends   int `json:"backends"`
+	Items      int `json:"items"`
+	Rounds     int `json:"rounds"`
+
+	Batch struct {
+		ItemsPerSec float64 `json:"items_per_sec"`
+		TTFRMS      float64 `json:"ttfr_ms"`
+		TTLRMS      float64 `json:"ttlr_ms"`
+		Admissions  int     `json:"admissions"`
+		Builds      int     `json:"builds"`
+		Errors      int     `json:"errors"`
+	} `json:"batch"`
+	Sequential struct {
+		ItemsPerSec float64 `json:"items_per_sec"`
+		Errors      int     `json:"errors"`
+	} `json:"sequential"`
+
+	Speedup float64 `json:"speedup"`
+}
+
+type batchGateConfig struct {
+	// SpeedupTolerance is the fractional speedup regression allowed
+	// relative to baseline (shared with search mode).
+	SpeedupTolerance float64
+	// MinSpeedup is the absolute batch/sequential speedup the current
+	// report must reach (0 disables).
+	MinSpeedup float64
+	// TTFRFrac is the largest allowed time-to-first-result as a
+	// fraction of time-to-last-result (0 disables). Streaming means
+	// the first answer lands well before the job ends.
+	TTFRFrac float64
+}
+
+// diffBatch returns every gate violation between a baseline and current
+// BENCH_batch.json, in a stable order. Empty means the gate passes.
+func diffBatch(baseline, current batchReport, cfg batchGateConfig) []string {
+	var problems []string
+	fail := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	// Same recording-environment refusals as search mode, for the same
+	// reason: a single-core recording serializes the backends, so the
+	// batch arm's fan-out measures nothing.
+	if baseline.GOMAXPROCS <= 1 {
+		fail("baseline was recorded at GOMAXPROCS=%d: single-core recordings cannot measure fan-out speedup and must never serve as a baseline; re-record with GOMAXPROCS>=4", baseline.GOMAXPROCS)
+	}
+	if current.GOMAXPROCS <= 1 {
+		fail("current report was recorded at GOMAXPROCS=%d: re-run the benchmark with GOMAXPROCS>=4", current.GOMAXPROCS)
+	}
+	if baseline.GOMAXPROCS != current.GOMAXPROCS {
+		fail("gomaxprocs mismatch: baseline %d vs current %d — wall-clock ratios are not comparable across different core counts", baseline.GOMAXPROCS, current.GOMAXPROCS)
+	}
+	if len(problems) > 0 {
+		return problems
+	}
+
+	if current.Items != baseline.Items || current.Rounds != baseline.Rounds || current.Backends != baseline.Backends {
+		fail("job shape changed: baseline %d items x %d rounds on %d backends vs current %d x %d on %d — re-record the baseline instead of comparing different workloads",
+			baseline.Items, baseline.Rounds, baseline.Backends, current.Items, current.Rounds, current.Backends)
+		return problems
+	}
+	if current.Batch.Errors > 0 || current.Sequential.Errors > 0 {
+		fail("current report has errors (batch=%d sequential=%d): throughput of a failing run is meaningless",
+			current.Batch.Errors, current.Sequential.Errors)
+		return problems
+	}
+
+	if cfg.MinSpeedup > 0 && current.Speedup < cfg.MinSpeedup {
+		fail("batch speedup %.2fx below the %.1fx amortization contract at %d items: one admission and a shared connection should beat %d sequential requests",
+			current.Speedup, cfg.MinSpeedup, current.Items, current.Items)
+	}
+	if floor := baseline.Speedup * (1 - cfg.SpeedupTolerance); current.Speedup < floor {
+		fail("batch speedup regressed to %.2fx from baseline %.2fx (floor %.2fx at tolerance %.0f%%)",
+			current.Speedup, baseline.Speedup, floor, cfg.SpeedupTolerance*100)
+	}
+	if cfg.TTFRFrac > 0 && current.Batch.TTLRMS > 0 {
+		if limit := cfg.TTFRFrac * current.Batch.TTLRMS; current.Batch.TTFRMS > limit {
+			fail("time-to-first-result %.1fms exceeds %.0f%% of time-to-last %.1fms: results are not streaming ahead of job completion",
+				current.Batch.TTFRMS, cfg.TTFRFrac*100, current.Batch.TTLRMS)
+		}
+	}
+	if limit := current.Backends * current.Rounds; current.Batch.Admissions > limit {
+		fail("batch admissions %d exceed backends*rounds = %d: items are being admitted individually instead of per sub-batch",
+			current.Batch.Admissions, limit)
+	}
+	if limit := current.Items * current.Rounds; current.Batch.Builds > limit {
+		fail("batch builds %d exceed items*rounds = %d: the shared build path is rebuilding items", current.Batch.Builds, limit)
+	}
+	return problems
+}
+
+func loadBatch(path string) (batchReport, error) {
+	var r batchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Items == 0 || r.Rounds == 0 {
+		return r, fmt.Errorf("%s: not a batch bench report (items/rounds missing)", path)
+	}
+	return r, nil
+}
+
 func load(path string) (benchReport, error) {
 	var r benchReport
 	data, err := os.ReadFile(path)
@@ -159,32 +291,61 @@ func load(path string) (benchReport, error) {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "", "baseline BENCH_search.json (required)")
-	currentPath := flag.String("current", "", "freshly recorded BENCH_search.json (required)")
+	mode := flag.String("mode", "search", "report schema to gate: search (BENCH_search.json) or batch (BENCH_batch.json)")
+	baselinePath := flag.String("baseline", "", "baseline report (required)")
+	currentPath := flag.String("current", "", "freshly recorded report (required)")
 	cfg := gateConfig{}
-	flag.Float64Var(&cfg.SpeedupTolerance, "speedup-tolerance", 0.30, "fractional per-case speedup regression allowed vs baseline")
-	flag.Float64Var(&cfg.AllocSlack, "alloc-slack", 8, "absolute parallel allocs-per-eval regression allowed vs baseline")
-	flag.Float64Var(&cfg.MinSpeedup, "min-speedup", 1.5, "speedup at least one expensive case must reach (0 disables)")
-	flag.Float64Var(&cfg.MinSpeedupFloorMS, "min-speedup-floor-ms", 5, "sequential wall-clock below which a case is exempt from -min-speedup")
+	flag.Float64Var(&cfg.SpeedupTolerance, "speedup-tolerance", 0.30, "fractional speedup regression allowed vs baseline (both modes)")
+	flag.Float64Var(&cfg.AllocSlack, "alloc-slack", 8, "search: absolute parallel allocs-per-eval regression allowed vs baseline")
+	flag.Float64Var(&cfg.MinSpeedup, "min-speedup", 1.5, "search: speedup at least one expensive case must reach (0 disables)")
+	flag.Float64Var(&cfg.MinSpeedupFloorMS, "min-speedup-floor-ms", 5, "search: sequential wall-clock below which a case is exempt from -min-speedup")
+	bcfg := batchGateConfig{}
+	flag.Float64Var(&bcfg.MinSpeedup, "batch-min-speedup", 2.0, "batch: absolute batch/sequential speedup the current report must reach (0 disables)")
+	flag.Float64Var(&bcfg.TTFRFrac, "ttfr-frac", 0.9, "batch: max time-to-first-result as a fraction of time-to-last (0 disables)")
 	flag.Parse()
+	bcfg.SpeedupTolerance = cfg.SpeedupTolerance
 
 	if *baselinePath == "" || *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	baseline, err := load(*baselinePath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
-	}
-	current, err := load(*currentPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+
+	var problems []string
+	var summary string
+	switch *mode {
+	case "search":
+		baseline, err := load(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		current, err := load(*currentPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		problems = diff(baseline, current, cfg)
+		summary = fmt.Sprintf("%d case(s) at gomaxprocs=%d", len(current.Cases), current.GOMAXPROCS)
+	case "batch":
+		baseline, err := loadBatch(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		current, err := loadBatch(*currentPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		problems = diffBatch(baseline, current, bcfg)
+		summary = fmt.Sprintf("%d items x %d rounds at %.2fx speedup, ttfr %.1fms / ttlr %.1fms",
+			current.Items, current.Rounds, current.Speedup, current.Batch.TTFRMS, current.Batch.TTLRMS)
+	default:
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown -mode %q (want search or batch)\n", *mode)
 		os.Exit(2)
 	}
 
-	problems := diff(baseline, current, cfg)
 	if len(problems) > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d problem(s):\n", len(problems))
 		for _, p := range problems {
@@ -192,6 +353,5 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: ok — %d case(s) at gomaxprocs=%d, no regressions\n",
-		len(current.Cases), current.GOMAXPROCS)
+	fmt.Printf("benchdiff: ok — %s, no regressions\n", summary)
 }

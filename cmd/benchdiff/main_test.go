@@ -133,6 +133,104 @@ func TestMinSpeedupRequiresAnExpensiveWinner(t *testing.T) {
 	expectProblem(t, baseline, current, "not earning its keep")
 }
 
+func goodBatchReport() batchReport {
+	r := batchReport{GOMAXPROCS: 4, NumCPU: 4, Backends: 3, Items: 8, Rounds: 4, Speedup: 2.6}
+	r.Batch.ItemsPerSec = 200
+	r.Batch.TTFRMS = 20
+	r.Batch.TTLRMS = 60
+	r.Batch.Admissions = 10 // <= backends*rounds = 12
+	r.Batch.Builds = 32     // <= items*rounds = 32
+	r.Sequential.ItemsPerSec = 77
+	return r
+}
+
+func defaultBatchCfg() batchGateConfig {
+	return batchGateConfig{SpeedupTolerance: 0.30, MinSpeedup: 2.0, TTFRFrac: 0.9}
+}
+
+func expectBatchProblem(t *testing.T, baseline, current batchReport, want string) {
+	t.Helper()
+	problems := diffBatch(baseline, current, defaultBatchCfg())
+	if len(problems) == 0 {
+		t.Fatalf("expected a problem mentioning %q, got none", want)
+	}
+	for _, p := range problems {
+		if strings.Contains(p, want) {
+			return
+		}
+	}
+	t.Fatalf("no problem mentions %q; got %v", want, problems)
+}
+
+func TestBatchCleanDiffPasses(t *testing.T) {
+	if problems := diffBatch(goodBatchReport(), goodBatchReport(), defaultBatchCfg()); len(problems) > 0 {
+		t.Fatalf("expected clean diff, got %v", problems)
+	}
+}
+
+func TestBatchSingleCoreRecordingIsHardFailure(t *testing.T) {
+	baseline := goodBatchReport()
+	baseline.GOMAXPROCS = 1
+	current := goodBatchReport()
+	current.GOMAXPROCS = 1
+	expectBatchProblem(t, baseline, current, "single-core")
+}
+
+func TestBatchGomaxprocsMismatchIsHardFailure(t *testing.T) {
+	current := goodBatchReport()
+	current.GOMAXPROCS = 8
+	expectBatchProblem(t, goodBatchReport(), current, "gomaxprocs mismatch")
+}
+
+func TestBatchJobShapeChangeIsHardFailure(t *testing.T) {
+	current := goodBatchReport()
+	current.Items = 16
+	expectBatchProblem(t, goodBatchReport(), current, "job shape changed")
+}
+
+func TestBatchErrorsFailTheGate(t *testing.T) {
+	current := goodBatchReport()
+	current.Batch.Errors = 1
+	expectBatchProblem(t, goodBatchReport(), current, "has errors")
+}
+
+func TestBatchAbsoluteMinSpeedupFails(t *testing.T) {
+	// No regression vs baseline, but the amortization contract itself
+	// is missed: batching must beat sequential by 2x at 8 items.
+	baseline := goodBatchReport()
+	baseline.Speedup = 1.4
+	current := goodBatchReport()
+	current.Speedup = 1.4
+	expectBatchProblem(t, baseline, current, "amortization contract")
+}
+
+func TestBatchSpeedupRegressionFails(t *testing.T) {
+	baseline := goodBatchReport()
+	baseline.Speedup = 4.0
+	current := goodBatchReport()
+	current.Speedup = 2.1 // above the 2.0 bar but below 4.0 * 0.7 = 2.8
+	expectBatchProblem(t, baseline, current, "speedup regressed")
+}
+
+func TestBatchBufferedStreamFails(t *testing.T) {
+	// TTFR == TTLR means nothing streamed before the job finished.
+	current := goodBatchReport()
+	current.Batch.TTFRMS = 60
+	expectBatchProblem(t, goodBatchReport(), current, "not streaming")
+}
+
+func TestBatchPerItemAdmissionsFail(t *testing.T) {
+	current := goodBatchReport()
+	current.Batch.Admissions = 32 // one per item: amortization lost
+	expectBatchProblem(t, goodBatchReport(), current, "admitted individually")
+}
+
+func TestBatchRebuildsFail(t *testing.T) {
+	current := goodBatchReport()
+	current.Batch.Builds = 64 // every item built twice
+	expectBatchProblem(t, goodBatchReport(), current, "rebuilding")
+}
+
 func TestMinSpeedupIgnoresCheapCases(t *testing.T) {
 	// A microsecond-scale search cannot amortize fan-out overhead;
 	// its low speedup must not satisfy or trip the -min-speedup bar.

@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/cluster"
 	"repro/internal/mmio"
 	"repro/internal/obs"
@@ -85,6 +86,11 @@ func main() {
 		benchOut   = flag.String("bench-out", "BENCH_gate.json", "bench report path")
 		benchInput = flag.Int("bench-inputs", 6, "distinct inputs in the bench request mix")
 		benchTmo   = flag.Duration("timeout", 0, "bench mode: per-request client timeout, propagated upstream as the deadline budget (0 = none)")
+
+		batchBench  = flag.Bool("batch", false, "benchmark batched vs sequential estimation against an embedded cluster, write the report, and exit")
+		batchItems  = flag.Int("batch-items", 8, "items per batch in -batch mode")
+		batchRounds = flag.Int("batch-rounds", 4, "measured rounds per arm in -batch mode (fresh inputs each round)")
+		batchOut    = flag.String("batch-out", "BENCH_batch.json", "-batch report path")
 	)
 	flag.Parse()
 
@@ -101,6 +107,7 @@ func main() {
 		logJSON: *logJSON, pprof: *pprofFlag,
 		benchN: *benchN, benchConc: *benchConc, benchOut: *benchOut, benchInputs: *benchInput,
 		benchTimeout: *benchTmo,
+		batchBench:   *batchBench, batchItems: *batchItems, batchRounds: *batchRounds, batchOut: *batchOut,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "hetgate:", err)
 		os.Exit(1)
@@ -131,6 +138,10 @@ type config struct {
 	benchOut            string
 	benchInputs         int
 	benchTimeout        time.Duration
+	batchBench          bool
+	batchItems          int
+	batchRounds         int
+	batchOut            string
 }
 
 func run(c config) error {
@@ -157,7 +168,7 @@ func run(c config) error {
 	if len(urls) == 0 {
 		k := c.embedded
 		if k <= 0 {
-			if c.benchN > 0 {
+			if c.benchN > 0 || c.batchBench {
 				k = 3 // bench always has a cluster to exercise
 			} else {
 				return errors.New("no backends: pass -backends or -embedded K")
@@ -210,6 +221,9 @@ func run(c config) error {
 	defer stop()
 	go g.Run(ctx)
 
+	if c.batchBench {
+		return runBatchBench(ctx, g, c, logger)
+	}
 	if c.benchN > 0 {
 		return runBench(ctx, g, c, logger)
 	}
@@ -431,6 +445,247 @@ func runBench(ctx context.Context, g *cluster.Gateway, c config, logger *slog.Lo
 		slog.String("out", c.benchOut))
 	if rep.Errors > 0 {
 		return fmt.Errorf("bench finished with %d errors", rep.Errors)
+	}
+	return nil
+}
+
+// batchBenchReport is the JSON written by -batch: the amortization case
+// for the batched estimation path, measured as two arms over identical
+// work — N items in one /estimate-batch job versus the same N inputs as
+// sequential /estimate requests. Each arm gets fresh inputs every round
+// so neither rides the other's result cache.
+type batchBenchReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	Backends   int `json:"backends"`
+	Items      int `json:"items"`
+	Rounds     int `json:"rounds"`
+
+	Batch      batchArm `json:"batch"`
+	Sequential seqArm   `json:"sequential"`
+
+	// Speedup is batch items/sec over sequential items/sec — the
+	// number the CI gate holds at >= 2x for 8-item jobs.
+	Speedup float64 `json:"speedup"`
+}
+
+type batchArm struct {
+	WallMS      float64 `json:"wall_ms"` // total across rounds
+	ItemsPerSec float64 `json:"items_per_sec"`
+	// TTFRMS/TTLRMS are the mean per-round times from request start to
+	// the first and last refined item — the streaming dividend: the
+	// first answer lands long before the job finishes.
+	TTFRMS     float64 `json:"ttfr_ms"`
+	TTLRMS     float64 `json:"ttlr_ms"`
+	Admissions int     `json:"admissions"` // summed over job summaries
+	Builds     int     `json:"builds"`
+	Errors     int     `json:"errors"`
+}
+
+type seqArm struct {
+	WallMS      float64 `json:"wall_ms"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+	Errors      int     `json:"errors"`
+}
+
+// benchMatrix renders one power-law upload body for the bench mix.
+func benchMatrix(seed uint64) ([]byte, error) {
+	m, err := sparse.Generate(sparse.GenConfig{
+		Class: sparse.ClassPowerLaw, Rows: 600, NNZ: 6000, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := mmio.Write(&buf, m.ToCOO()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// runBatchBench measures the batched path against the sequential
+// baseline over a real loopback listener and writes BENCH_batch.json.
+func runBatchBench(ctx context.Context, g *cluster.Gateway, c config, logger *slog.Logger) error {
+	if c.batchItems <= 0 {
+		c.batchItems = 8
+	}
+	if c.batchRounds <= 0 {
+		c.batchRounds = 1
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: g.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	logger.Info("batch bench starting",
+		slog.Int("items", c.batchItems),
+		slog.Int("rounds", c.batchRounds),
+		slog.Int("backends", len(g.Backends())))
+
+	rep := batchBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Backends:   len(g.Backends()),
+		Items:      c.batchItems,
+		Rounds:     c.batchRounds,
+	}
+	client := &http.Client{}
+
+	// Warm-up round per arm (not measured): first contact pays one-off
+	// costs — TCP setup, lazily built platform state — that belong to
+	// neither arm. Disjoint seed ranges keep every round, warm-up
+	// included, a cache miss.
+	seedBatch := uint64(10_000)
+	seedSeq := uint64(50_000)
+
+	runBatchRound := func(measured bool) error {
+		items := make([]batch.Item, c.batchItems)
+		for i := range items {
+			body, err := benchMatrix(seedBatch)
+			seedBatch++
+			if err != nil {
+				return err
+			}
+			items[i] = batch.Item{
+				Name: fmt.Sprintf("it%d", i), Workload: "spmm", Repeats: 1, Body: body,
+			}
+		}
+		body, contentType, err := batch.EncodeRequest(items)
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/estimate-batch", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", contentType)
+		req.Header.Set("Accept", "application/x-ndjson")
+		t0 := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			rep.Batch.Errors++
+			return nil
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			rep.Batch.Errors++
+			return nil
+		}
+		var firstRefined, lastRefined time.Duration
+		var sum *batch.Summary
+		terminals := 0
+		err = batch.ReadEvents(resp.Body, func(e batch.Event) error {
+			if e.Type == batch.EventSummary {
+				sum = e.Summary
+				return nil
+			}
+			if e.Terminal() {
+				terminals++
+				at := time.Since(t0)
+				if firstRefined == 0 {
+					firstRefined = at
+				}
+				lastRefined = at
+			}
+			return nil
+		})
+		wall := time.Since(t0)
+		if err != nil || sum == nil || terminals != c.batchItems || sum.Completed != c.batchItems {
+			rep.Batch.Errors++
+			return nil
+		}
+		if measured {
+			rep.Batch.WallMS += float64(wall.Microseconds()) / 1e3
+			rep.Batch.TTFRMS += float64(firstRefined.Microseconds()) / 1e3
+			rep.Batch.TTLRMS += float64(lastRefined.Microseconds()) / 1e3
+			rep.Batch.Admissions += sum.Admissions
+			rep.Batch.Builds += sum.Builds
+		}
+		return nil
+	}
+
+	runSeqRound := func(measured bool) error {
+		t0 := time.Now()
+		for i := 0; i < c.batchItems; i++ {
+			body, err := benchMatrix(seedSeq)
+			seedSeq++
+			if err != nil {
+				return err
+			}
+			resp, err := client.Post(base+"/estimate?workload=spmm&repeats=1", "text/plain", bytes.NewReader(body))
+			if err != nil {
+				rep.Sequential.Errors++
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				rep.Sequential.Errors++
+			}
+		}
+		if measured {
+			rep.Sequential.WallMS += float64(time.Since(t0).Microseconds()) / 1e3
+		}
+		return nil
+	}
+
+	if err := runBatchRound(false); err != nil {
+		return err
+	}
+	if err := runSeqRound(false); err != nil {
+		return err
+	}
+	for r := 0; r < c.batchRounds; r++ {
+		if err := runBatchRound(true); err != nil {
+			return err
+		}
+		if err := runSeqRound(true); err != nil {
+			return err
+		}
+	}
+
+	total := float64(c.batchItems * c.batchRounds)
+	if rep.Batch.WallMS > 0 {
+		rep.Batch.ItemsPerSec = total / (rep.Batch.WallMS / 1e3)
+	}
+	if rep.Sequential.WallMS > 0 {
+		rep.Sequential.ItemsPerSec = total / (rep.Sequential.WallMS / 1e3)
+	}
+	if rep.Sequential.ItemsPerSec > 0 {
+		rep.Speedup = rep.Batch.ItemsPerSec / rep.Sequential.ItemsPerSec
+	}
+	rep.Batch.TTFRMS /= float64(c.batchRounds)
+	rep.Batch.TTLRMS /= float64(c.batchRounds)
+
+	f, err := os.Create(c.batchOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	logger.Info("batch bench done",
+		slog.Float64("batch_items_per_sec", rep.Batch.ItemsPerSec),
+		slog.Float64("seq_items_per_sec", rep.Sequential.ItemsPerSec),
+		slog.Float64("speedup", rep.Speedup),
+		slog.Float64("ttfr_ms", rep.Batch.TTFRMS),
+		slog.Float64("ttlr_ms", rep.Batch.TTLRMS),
+		slog.Int("admissions", rep.Batch.Admissions),
+		slog.Int("builds", rep.Batch.Builds),
+		slog.String("out", c.batchOut))
+	if n := rep.Batch.Errors + rep.Sequential.Errors; n > 0 {
+		return fmt.Errorf("batch bench finished with %d errors", n)
 	}
 	return nil
 }

@@ -67,6 +67,8 @@ func main() {
 		par        = flag.Int("parallelism", 1, "concurrent threshold evaluations per pipeline (0 = GOMAXPROCS; results identical at any setting)")
 		cacheSize  = flag.Int("cache", serve.DefaultCacheSize, "result cache capacity (0 disables)")
 		maxUpload  = flag.Int64("max-upload", serve.DefaultMaxUpload, "max POST body bytes")
+		batchItems = flag.Int("batch-max-items", 0, "max items per /estimate-batch job (0 = default)")
+		batchBytes = flag.Int64("batch-max-bytes", 0, "max /estimate-batch body bytes, manifest + uploads together (0 = max-upload)")
 		timeout    = flag.Duration("timeout", serve.DefaultMaxTimeout, "per-request deadline cap")
 		admission  = flag.Int64("admission", 0, "admission capacity in evaluation-cost units (0 = default)")
 		admissionQ = flag.Int("admission-queue", 0, "requests that may wait for admission before shedding with 429 (0 = default, negative = never queue)")
@@ -102,6 +104,8 @@ func main() {
 		Parallelism:    *par,
 		CacheSize:      *cacheSize,
 		MaxUploadBytes: *maxUpload,
+		BatchMaxItems:  *batchItems,
+		BatchMaxBytes:  *batchBytes,
 		MaxTimeout:     *timeout,
 		AdmissionLimit: *admission,
 		AdmissionQueue: *admissionQ,

@@ -49,6 +49,7 @@ type Breaker struct {
 	cooldown  time.Duration
 	state     BreakerState
 	failures  int
+	sheds     int
 	openedAt  time.Time
 	probing   bool
 	now       func() time.Time // test hook
@@ -102,6 +103,7 @@ func (b *Breaker) Record(ok bool) {
 	if ok {
 		b.state = BreakerClosed
 		b.failures = 0
+		b.sheds = 0
 		return
 	}
 	if b.state == BreakerHalfOpen {
@@ -113,6 +115,31 @@ func (b *Breaker) Record(ok bool) {
 	if b.failures >= b.threshold {
 		b.state = BreakerOpen
 		b.openedAt = b.now()
+	}
+}
+
+// RecordShed reports that the backend answered with backpressure (a
+// 429 admission shed, or a shed item inside a batch). A shedding
+// backend is alive — its admission controller is doing exactly its
+// job — so sheds feed a separate streak that trips the breaker only
+// after twice the failure threshold: sustained total refusal should
+// still divert traffic, but a burst of sheds must not be mistaken for
+// a dead replica the way transport failures are.
+func (b *Breaker) RecordShed() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if b.state == BreakerHalfOpen {
+		// Alive but still refusing the probe: keep backing off.
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		return
+	}
+	b.sheds++
+	if b.sheds >= 2*b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.sheds = 0
 	}
 }
 

@@ -121,6 +121,60 @@ func TestBreakerReleaseFreesProbeSlot(t *testing.T) {
 	}
 }
 
+func TestBreakerShedStreakTripsAtDoubleThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+
+	// Sheds below twice the failure threshold keep the breaker closed:
+	// a shedding backend is alive, not dead.
+	for i := 0; i < 5; i++ {
+		b.Allow()
+		b.RecordShed()
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("state after %d sheds = %v, want closed", i+1, got)
+		}
+	}
+	b.Allow()
+	b.RecordShed() // sixth consecutive shed = 2*threshold: divert traffic
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after 2*threshold sheds = %v, want open", got)
+	}
+}
+
+func TestBreakerSuccessResetsShedStreak(t *testing.T) {
+	b, _ := newTestBreaker(2, time.Minute)
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.RecordShed()
+	}
+	b.Allow()
+	b.Record(true) // streak broken
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.RecordShed()
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Errorf("state = %v, want closed (shed streak was reset)", got)
+	}
+}
+
+func TestBreakerHalfOpenShedReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Allow()
+	b.Record(false)
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe admitted after cooldown")
+	}
+	// The probe itself was shed: alive but still refusing — back off.
+	b.RecordShed()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after shed probe = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Error("breaker admitted a request right after a shed probe")
+	}
+}
+
 func TestBreakerStateString(t *testing.T) {
 	for s, want := range map[BreakerState]string{
 		BreakerClosed:   "closed",

@@ -202,6 +202,7 @@ func New(cfg Config) (*Gateway, error) {
 	// scrapes and probes don't flood the span ring.
 	ho := obs.HTTPOptions{Service: "hetgate", Sink: g.sink, Logger: g.logger}
 	g.mux.Handle("/estimate", obs.Handler(ho, "http.estimate", http.HandlerFunc(g.handleEstimate)))
+	g.mux.Handle("/estimate-batch", obs.Handler(ho, "http.estimate_batch", http.HandlerFunc(g.handleEstimateBatch)))
 	g.mux.Handle("/datasets", obs.Handler(ho, "http.datasets", http.HandlerFunc(g.handleDatasets)))
 	g.mux.HandleFunc("/healthz", g.handleHealthz)
 	g.mux.HandleFunc("/metrics", g.handleMetrics)
@@ -703,11 +704,11 @@ func (g *Gateway) do(ctx context.Context, backend, method, path, rawQuery string
 	g.metrics.Upstream(backend, resp.StatusCode, time.Since(start))
 	sp.SetAttr("http.status", strconv.Itoa(resp.StatusCode))
 	if resp.StatusCode == http.StatusTooManyRequests {
-		// The backend shed us: count it, feed the breaker (a backend
-		// shedding every request should stop receiving traffic), and
+		// The backend shed us: count it, feed the breaker's shed streak
+		// (backpressure, not a transport failure — see RecordShed), and
 		// fail the attempt so forward retries the next replica.
 		g.metrics.Shed(backend)
-		g.breaker(backend).Record(false)
+		g.breaker(backend).RecordShed()
 		sp.SetAttr("shed", "true")
 		return fail(fmt.Errorf("backend %s: shed (HTTP 429): %s", backend, firstLine(b)))
 	}

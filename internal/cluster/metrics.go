@@ -35,6 +35,13 @@ type Metrics struct {
 	deadlines uint64            // requests that ran out of budget end to end
 	started   time.Time
 
+	// Scatter-gather batch fan-out counters.
+	fanoutJobs       uint64            // batch jobs fanned out
+	fanoutItems      uint64            // items across all fanned-out jobs
+	fanoutSubBatches map[string]uint64 // key: backend (sub-batches forwarded to it)
+	fanoutHedges     uint64            // straggler items hedged via the single-item path
+	fanoutDegraded   uint64            // items answered degraded after their shard failed
+
 	// breakerStates reports live breaker positions at scrape time; set
 	// by the Gateway that owns the breakers.
 	breakerStates func() map[string]BreakerState
@@ -50,6 +57,8 @@ func NewMetrics() *Metrics {
 		degraded:  make(map[string]uint64),
 		transfers: make(map[string]uint64),
 		started:   time.Now(),
+
+		fanoutSubBatches: make(map[string]uint64),
 	}
 }
 
@@ -145,6 +154,45 @@ func (m *Metrics) StoreTransferCounts() (skips, warms uint64) {
 	return skips, warms
 }
 
+// FanoutJob records one batch job split across the ring, with its item
+// count.
+func (m *Metrics) FanoutJob(items int) {
+	m.mu.Lock()
+	m.fanoutJobs++
+	m.fanoutItems += uint64(items)
+	m.mu.Unlock()
+}
+
+// FanoutSubBatch records one sub-batch forwarded to backend.
+func (m *Metrics) FanoutSubBatch(backend string) {
+	m.mu.Lock()
+	m.fanoutSubBatches[backend]++
+	m.mu.Unlock()
+}
+
+// FanoutHedge records one straggler item hedged individually through
+// the single-item path while its sub-batch was still outstanding.
+func (m *Metrics) FanoutHedge() {
+	m.mu.Lock()
+	m.fanoutHedges++
+	m.mu.Unlock()
+}
+
+// FanoutDegraded records one item answered with a degraded fallback
+// (its coarse event, or an error marker) after its shard failed.
+func (m *Metrics) FanoutDegraded() {
+	m.mu.Lock()
+	m.fanoutDegraded++
+	m.mu.Unlock()
+}
+
+// FanoutCounts returns the batch fan-out totals (tests, bench).
+func (m *Metrics) FanoutCounts() (jobs, items, hedges, degraded uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fanoutJobs, m.fanoutItems, m.fanoutHedges, m.fanoutDegraded
+}
+
 // DeadlineExceeded records one client request that exhausted its
 // deadline budget across all retries and hedges.
 func (m *Metrics) DeadlineExceeded() {
@@ -234,6 +282,27 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	}
 	for _, k := range sortedKeys(m.degraded) {
 		if err := p("hetgate_degraded_by_backend_total{backend=%q} %d\n", k, m.degraded[k]); err != nil {
+			return n, err
+		}
+	}
+
+	if err := p("# HELP hetgate_fanout_batches_total Batch jobs scattered across the ring.\n# TYPE hetgate_fanout_batches_total counter\nhetgate_fanout_batches_total %d\n", m.fanoutJobs); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetgate_fanout_items_total Items across all fanned-out batch jobs.\n# TYPE hetgate_fanout_items_total counter\nhetgate_fanout_items_total %d\n", m.fanoutItems); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetgate_fanout_hedges_total Straggler batch items hedged individually through the single-item path.\n# TYPE hetgate_fanout_hedges_total counter\nhetgate_fanout_hedges_total %d\n", m.fanoutHedges); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetgate_fanout_degraded_total Batch items answered degraded after their shard failed.\n# TYPE hetgate_fanout_degraded_total counter\nhetgate_fanout_degraded_total %d\n", m.fanoutDegraded); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetgate_fanout_subbatches_total Sub-batches forwarded, by backend.\n# TYPE hetgate_fanout_subbatches_total counter\n"); err != nil {
+		return n, err
+	}
+	for _, k := range sortedKeys(m.fanoutSubBatches) {
+		if err := p("hetgate_fanout_subbatches_total{backend=%q} %d\n", k, m.fanoutSubBatches[k]); err != nil {
 			return n, err
 		}
 	}

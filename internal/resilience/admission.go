@@ -111,6 +111,56 @@ func (a *Admission) Acquire(ctx context.Context, cost int64) error {
 	}
 }
 
+// AcquireBatch admits a batch job's per-item costs as one aggregate
+// acquisition. It admits the longest prefix of costs that fits the
+// controller's free capacity right now and sheds the rest — the
+// batch analogue of the LIFO stack shedding its newest arrivals: the
+// job keeps its head items and drops its tail instead of being 429'd
+// whole. When nothing fits immediately, the call falls back to a
+// blocking Acquire of the first item's cost, so a batch arriving
+// behind a burst queues like any single request rather than starving.
+//
+// It returns how many items were admitted (always a prefix) and the
+// total cost actually admitted; the caller must Release exactly that
+// total when the job finishes. err is non-nil only when not even one
+// item could be admitted: ErrOverloaded or the context's error.
+func (a *Admission) AcquireBatch(ctx context.Context, costs []int64) (admitted int, total int64, err error) {
+	if len(costs) == 0 {
+		return 0, 0, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	a.mu.Lock()
+	for _, c := range costs {
+		c = a.clamp(c)
+		if a.inFlight+c > a.limit {
+			break
+		}
+		a.inFlight += c
+		total += c
+		admitted++
+	}
+	if admitted > 0 {
+		a.admitted++
+		a.shed += uint64(len(costs) - admitted)
+		a.mu.Unlock()
+		return admitted, total, nil
+	}
+	a.mu.Unlock()
+	// At capacity: queue for the head item alone. The tail is shed
+	// either way — by the time the head is admitted the backlog that
+	// blocked it has first claim on whatever freed up.
+	c0 := a.clamp(costs[0])
+	if err := a.Acquire(ctx, c0); err != nil {
+		return 0, 0, err
+	}
+	a.mu.Lock()
+	a.shed += uint64(len(costs) - 1)
+	a.mu.Unlock()
+	return 1, c0, nil
+}
+
 // Release returns cost units admitted by Acquire and drains the wait
 // stack newest-first while capacity lasts.
 func (a *Admission) Release(cost int64) {

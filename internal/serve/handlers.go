@@ -429,7 +429,7 @@ func (s *Server) runStorePipeline(ctx context.Context, cacheKey, workload, input
 	}
 	meta, n := s.storeLookup(ctx, workload, storeKey, cw, hint)
 	if meta.hit && s.store.CanSkip(n) {
-		resp, ok, err := s.probeTransfer(ctx, cacheKey, workload, input, storeKey, cw, n, meta, searcher, seed, repeats)
+		resp, ok, err := s.probeTransfer(ctx, cacheKey, workload, input, storeKey, cw, n, meta, searcher, seed, repeats, false)
 		if err != nil {
 			return nil, err
 		}
@@ -599,6 +599,11 @@ func (s *Server) buildWorkload(ctx context.Context, workload, input string, body
 		if err != nil {
 			return fail(badRequest("%v", err))
 		}
+		// Uploads bypass the build cache (one-shot bodies are not worth
+		// keying), but they are still real constructions: count them so
+		// batch summaries report build work for upload items too.
+		s.metrics.BuildMiss()
+		span.SetAttr("cache", "bypass")
 		return cw, nil
 	}
 	// Dataset builds go through the build cache: the replica population

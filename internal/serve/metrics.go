@@ -61,6 +61,15 @@ type Metrics struct {
 	storeRejects     uint64
 	storeReestimates uint64
 
+	// Batch (/estimate-batch) accounting: jobs started, items carried
+	// by those jobs, jobs rejected before any work (bad manifest or
+	// over the size limits), and per-item outcomes keyed by label
+	// (refined, cached, shed, deadline, invalid, error).
+	batchJobs     uint64
+	batchItems    uint64
+	batchRejected uint64
+	batchOutcomes map[string]uint64
+
 	// cacheStats reports live cache occupancy and evictions at scrape
 	// time; set by the Server that owns the LRU.
 	cacheStats func() CacheStats
@@ -83,9 +92,10 @@ type AdmissionStats struct {
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		requests:  make(map[string]uint64),
-		latencies: make(map[string]*obs.Histogram),
-		started:   time.Now(),
+		requests:      make(map[string]uint64),
+		latencies:     make(map[string]*obs.Histogram),
+		batchOutcomes: make(map[string]uint64),
+		started:       time.Now(),
 	}
 }
 
@@ -174,6 +184,42 @@ func (m *Metrics) DeadlineExceeded() {
 	m.mu.Lock()
 	m.deadlineExceeded++
 	m.mu.Unlock()
+}
+
+// BatchJob records one accepted /estimate-batch job carrying n items.
+func (m *Metrics) BatchJob(n int) {
+	m.mu.Lock()
+	m.batchJobs++
+	m.batchItems += uint64(n)
+	m.mu.Unlock()
+}
+
+// BatchRejected records a batch job rejected before any work ran (bad
+// manifest, duplicate names, or over the item/byte limits).
+func (m *Metrics) BatchRejected() {
+	m.mu.Lock()
+	m.batchRejected++
+	m.mu.Unlock()
+}
+
+// BatchItem records one batch item reaching a terminal outcome:
+// refined, cached, shed, deadline, invalid, or error.
+func (m *Metrics) BatchItem(outcome string) {
+	m.mu.Lock()
+	m.batchOutcomes[outcome]++
+	m.mu.Unlock()
+}
+
+// BatchCounts returns the batch totals and a copy of the per-outcome
+// item counts (tests).
+func (m *Metrics) BatchCounts() (jobs, items, rejected uint64, outcomes map[string]uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	outcomes = make(map[string]uint64, len(m.batchOutcomes))
+	for k, v := range m.batchOutcomes {
+		outcomes[k] = v
+	}
+	return m.batchJobs, m.batchItems, m.batchRejected, outcomes
 }
 
 // StoreHit records a store lookup that found a transferable neighbor.
@@ -364,6 +410,23 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	}
 	if err := p("# HELP hetserve_deadline_exceeded_total Requests that ran out of their (propagated) deadline budget.\n# TYPE hetserve_deadline_exceeded_total counter\nhetserve_deadline_exceeded_total %d\n", m.deadlineExceeded); err != nil {
 		return n, err
+	}
+	if err := p("# HELP hetserve_batch_jobs_total Accepted /estimate-batch jobs.\n# TYPE hetserve_batch_jobs_total counter\nhetserve_batch_jobs_total %d\n", m.batchJobs); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetserve_batch_items_total Items carried by accepted batch jobs.\n# TYPE hetserve_batch_items_total counter\nhetserve_batch_items_total %d\n", m.batchItems); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetserve_batch_rejected_total Batch jobs rejected before any work (bad manifest or over limits).\n# TYPE hetserve_batch_rejected_total counter\nhetserve_batch_rejected_total %d\n", m.batchRejected); err != nil {
+		return n, err
+	}
+	if err := p("# HELP hetserve_batch_item_outcomes_total Terminal batch-item outcomes.\n# TYPE hetserve_batch_item_outcomes_total counter\n"); err != nil {
+		return n, err
+	}
+	for _, k := range sortedKeys(m.batchOutcomes) {
+		if err := p("hetserve_batch_item_outcomes_total{outcome=%q} %d\n", k, m.batchOutcomes[k]); err != nil {
+			return n, err
+		}
 	}
 	storeLines := []struct {
 		name, help string

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"runtime"
+	"sync/atomic"
 )
 
 // Pool is a bounded worker pool implemented as a counting semaphore.
@@ -11,7 +12,8 @@ import (
 // burst of requests can create; waiters honor their request context,
 // so a client that times out while queued never occupies a slot.
 type Pool struct {
-	sem chan struct{}
+	sem      chan struct{}
+	acquires atomic.Uint64
 }
 
 // NewPool returns a pool with n slots; n <= 0 means GOMAXPROCS.
@@ -31,11 +33,17 @@ func (p *Pool) Acquire(ctx context.Context) error {
 	}
 	select {
 	case p.sem <- struct{}{}:
+		p.acquires.Add(1)
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
+
+// Acquires returns the lifetime count of successful slot acquisitions.
+// An N-item batch holds one slot for the whole job, so this is how
+// tests prove the "one pool admission per batch" contract.
+func (p *Pool) Acquires() uint64 { return p.acquires.Load() }
 
 // Release returns a slot acquired with Acquire.
 func (p *Pool) Release() { <-p.sem }

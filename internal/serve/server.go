@@ -22,12 +22,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/flight"
 	"repro/internal/hetsim"
 	"repro/internal/obs"
@@ -97,6 +97,14 @@ type Config struct {
 	// disables cross-input transfer. The store may be shared by many
 	// Servers (an embedded cluster shares one process-wide store).
 	Store *store.Store
+
+	// BatchMaxItems caps items per /estimate-batch job; <= 0 means
+	// batch.DefaultMaxItems. Oversized jobs are rejected with a
+	// structured 413 so one job cannot starve the admission queue.
+	BatchMaxItems int
+	// BatchMaxBytes caps an /estimate-batch request body (manifest +
+	// uploads together); <= 0 means MaxUploadBytes.
+	BatchMaxBytes int64
 }
 
 // Defaults for Config zero values.
@@ -183,6 +191,7 @@ func New(cfg Config) *Server {
 	// bare so 2-second gateway probes don't flood the span ring.
 	ho := obs.HTTPOptions{Service: "hetserve", Sink: s.sink, Logger: s.logger}
 	s.mux.Handle("/estimate", obs.Handler(ho, "http.estimate", http.HandlerFunc(s.handleEstimate)))
+	s.mux.Handle("/estimate-batch", obs.Handler(ho, "http.estimate_batch", http.HandlerFunc(s.handleEstimateBatch)))
 	s.mux.Handle("/datasets", obs.Handler(ho, "http.datasets", http.HandlerFunc(s.handleDatasets)))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -303,9 +312,6 @@ const StatusClientClosedRequest = 499
 // cache entry without retaining the bytes. Exported so the hetgate
 // gateway shards requests by the exact key this cache uses — routing
 // and caching agreeing on input identity is what makes ring locality
-// pay off.
-func Fingerprint(b []byte) string {
-	h := fnv.New64a()
-	h.Write(b)
-	return fmt.Sprintf("%016x", h.Sum64())
-}
+// pay off. The canonical definition lives in internal/batch so single
+// and batched traffic can never disagree on input identity.
+func Fingerprint(b []byte) string { return batch.Fingerprint(b) }

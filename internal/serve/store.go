@@ -120,23 +120,27 @@ func thresholdRange(cw core.Sampled) (lo, hi float64) {
 // transfer is accepted when the threshold's cost is within the store's
 // tolerance of the best probed point. Returns (resp, true) on accept;
 // (nil, false) means the caller should fall back to the warm path.
-// Only context/evaluation failures surface as errors.
-func (s *Server) probeTransfer(ctx context.Context, cacheKey, workload, input, storeKey string, cw core.Sampled, n store.Neighbor, meta storeMeta, searcher core.Searcher, seed uint64, repeats int) (*EstimateResponse, bool, error) {
+// Only context/evaluation failures surface as errors. admitted callers
+// (batch items, whose job already holds aggregate admission) skip the
+// probe's own admission so one item is never charged twice.
+func (s *Server) probeTransfer(ctx context.Context, cacheKey, workload, input, storeKey string, cw core.Sampled, n store.Neighbor, meta storeMeta, searcher core.Searcher, seed uint64, repeats int, admitted bool) (*EstimateResponse, bool, error) {
 	_, span := obs.StartSpan(ctx, "store.probe")
 	defer span.Finish()
-	err := s.admission.Acquire(ctx, probeCost)
-	if err != nil {
-		if errors.Is(err, resilience.ErrOverloaded) {
-			// The probe itself was shed: fall through to the warm
-			// path, whose full-cost admission resolves the overload
-			// honestly (shed → degrade upstream).
-			span.SetAttr("shed", "true")
-			return nil, false, nil
+	if !admitted {
+		err := s.admission.Acquire(ctx, probeCost)
+		if err != nil {
+			if errors.Is(err, resilience.ErrOverloaded) {
+				// The probe itself was shed: fall through to the warm
+				// path, whose full-cost admission resolves the overload
+				// honestly (shed → degrade upstream).
+				span.SetAttr("shed", "true")
+				return nil, false, nil
+			}
+			span.RecordError(err)
+			return nil, false, fmt.Errorf("waiting for probe admission: %w", err)
 		}
-		span.RecordError(err)
-		return nil, false, fmt.Errorf("waiting for probe admission: %w", err)
+		defer s.admission.Release(probeCost)
 	}
-	defer s.admission.Release(probeCost)
 
 	s.metrics.StoreProbe()
 	lo, hi := thresholdRange(cw)
