@@ -1,0 +1,323 @@
+package repro
+
+// BenchmarkKernels measures every tuned kernel against its frozen
+// reference implementation and writes BENCH_kernels.json — the
+// per-kernel companion of BENCH_search.json.
+//
+//	go test -bench=BenchmarkKernels -benchtime=20x
+//
+// Each row times the reference body (reference.go in internal/sparse
+// and internal/graph — the pre-tuning implementations, kept compiled
+// so they cannot rot) and the tuned kernel on the same dataset, and
+// records the ns/op of both plus their ratio. The report ends with the
+// geometric mean of the ratios, which is what the CI gate
+// (cmd/benchdiff -mode kernels) checks: ratios of two measurements
+// from the same process on the same machine are meaningful even on a
+// throttled single-core runner, unlike absolute wall-clock.
+//
+// The golden suite (kernels_golden_test.go) pins tuned and reference
+// bit-identical, so these pairs time the same computation by
+// construction.
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/hetcc"
+	"repro/internal/hetsim"
+	"repro/internal/hetspmm"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+type kernelBenchRow struct {
+	Kernel  string `json:"kernel"`
+	Dataset string `json:"dataset"`
+	Class   string `json:"class"`
+	// RefNsOp and TunedNsOp are nanoseconds per operation for the
+	// frozen reference and the tuned kernel; Speedup is their ratio.
+	RefNsOp   float64 `json:"ref_ns_op"`
+	TunedNsOp float64 `json:"tuned_ns_op"`
+	Speedup   float64 `json:"speedup"`
+}
+
+type evalBenchRow struct {
+	Workload string `json:"workload"`
+	Dataset  string `json:"dataset"`
+	// NsPerEval is the wall-clock of one Workload.Evaluate call at the
+	// mid-grid threshold — the unit the Identify sweep repeats ~101
+	// times per search.
+	NsPerEval float64 `json:"ns_per_eval"`
+}
+
+type kernelBenchReport struct {
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Kernels    []kernelBenchRow `json:"kernels"`
+	Evals      []evalBenchRow   `json:"evals"`
+	// GeomeanSpeedup is the geometric mean of the per-kernel speedups
+	// — the machine-independent figure the CI gate thresholds.
+	GeomeanSpeedup float64 `json:"geomean_speedup"`
+}
+
+// timeKernel times fn as a sub-benchmark and returns its ns/op.
+func timeKernel(b *testing.B, name string, fn func()) float64 {
+	var nsOp float64
+	b.Run(name, func(b *testing.B) {
+		fn() // warm scratch pools and lazy indexes outside the timing
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+		b.StopTimer()
+		nsOp = float64(b.Elapsed()) / float64(b.N)
+	})
+	return nsOp
+}
+
+// benchSink defeats dead-code elimination of benchmark results.
+var benchSink any
+
+func BenchmarkKernels(b *testing.B) {
+	report := kernelBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	addRow := func(kernel, dataset, class string, refNs, tunedNs float64) {
+		speedup := 0.0
+		if tunedNs > 0 {
+			speedup = refNs / tunedNs
+		}
+		report.Kernels = append(report.Kernels, kernelBenchRow{
+			Kernel: kernel, Dataset: dataset, Class: class,
+			RefNsOp: refNs, TunedNsOp: tunedNs, Speedup: speedup,
+		})
+	}
+
+	for _, name := range goldenDatasets {
+		d, err := datasets.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := d.Matrix()
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := d.Graph()
+		if err != nil {
+			b.Fatal(err)
+		}
+		class := d.Group
+
+		// --- sparse matrix kernels -------------------------------------
+		r := xrand.New(0x5bd1e995)
+		x := make([]float64, m.Cols)
+		for j := range x {
+			x[j] = r.Float64()*2 - 1
+		}
+		ref := timeKernel(b, "spmv-ref/"+name, func() {
+			y, err := sparse.SpMVRef(m, x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = y
+		})
+		tuned := timeKernel(b, "spmv/"+name, func() {
+			y, err := sparse.SpMV(m, x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = y
+		})
+		addRow("spmv", name, class, ref, tuned)
+
+		pat := m.Clone()
+		pat.Vals = nil
+		ref = timeKernel(b, "spmv-pattern-ref/"+name, func() {
+			y, err := sparse.SpMVRef(pat, x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = y
+		})
+		tuned = timeKernel(b, "spmv-pattern/"+name, func() {
+			y, err := sparse.SpMV(pat, x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = y
+		})
+		addRow("spmv-pattern", name, class, ref, tuned)
+
+		ref = timeKernel(b, "loadvec-ref/"+name, func() {
+			load, err := sparse.LoadVectorRef(m, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = load
+		})
+		tuned = timeKernel(b, "loadvec/"+name, func() {
+			load, err := sparse.LoadVector(m, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = load
+		})
+		addRow("loadvec", name, class, ref, tuned)
+
+		ref = timeKernel(b, "symbolic-ref/"+name, func() {
+			counts, _, err := sparse.RowOutputCountsRef(m, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = counts
+		})
+		countsBuf := make([]int64, m.Rows)
+		tuned = timeKernel(b, "symbolic/"+name, func() {
+			counts, _, err := sparse.RowOutputCounts(countsBuf, m, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = counts
+		})
+		addRow("symbolic", name, class, ref, tuned)
+
+		// The split kernel is timed over the full 101-point threshold
+		// grid, the unit of work an Identify sweep performs. The tuned
+		// arm binary-searches the prefix-sum array the profile builders
+		// cache once per dataset (built outside the timing, like the
+		// profiles do).
+		load, err := sparse.LoadVector(m, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prefix := make([]int64, len(load)+1)
+		for i, v := range load {
+			prefix[i+1] = prefix[i] + v
+		}
+		ref = timeKernel(b, "split-grid-ref/"+name, func() {
+			acc := 0
+			for t := 0; t <= 100; t++ {
+				acc += sparse.SplitRowByWorkRef(load, float64(t)/100)
+			}
+			benchSink = acc
+		})
+		tuned = timeKernel(b, "split-grid/"+name, func() {
+			acc := 0
+			for t := 0; t <= 100; t++ {
+				acc += sparse.SplitRowByWorkPrefix(prefix, float64(t)/100)
+			}
+			benchSink = acc
+		})
+		addRow("split-grid", name, class, ref, tuned)
+
+		// --- connected-components kernels ------------------------------
+		var res graph.CCResult
+		refScratch, tunedScratch := new(graph.CCScratch), new(graph.CCScratch)
+		ref = timeKernel(b, "cc-dfs-ref/"+name, func() {
+			graph.DFSRef(g, &res, refScratch)
+		})
+		tuned = timeKernel(b, "cc-dfs/"+name, func() {
+			graph.DFSInto(g, &res, tunedScratch)
+		})
+		addRow("cc-dfs", name, class, ref, tuned)
+
+		ref = timeKernel(b, "cc-parallel-ref/"+name, func() {
+			graph.ParallelCPURef(g, 4, &res, refScratch)
+		})
+		tuned = timeKernel(b, "cc-parallel/"+name, func() {
+			graph.ParallelCPUInto(g, 4, &res, tunedScratch)
+		})
+		addRow("cc-parallel", name, class, ref, tuned)
+
+		ref = timeKernel(b, "cc-sv-ref/"+name, func() {
+			graph.ShiloachVishkinRef(g, &res, refScratch)
+		})
+		tuned = timeKernel(b, "cc-sv/"+name, func() {
+			graph.ShiloachVishkinInto(g, &res, tunedScratch)
+		})
+		addRow("cc-sv", name, class, ref, tuned)
+	}
+
+	// --- end-to-end evaluation cost ------------------------------------
+	// One Workload.Evaluate at the mid-grid threshold: the unit the
+	// search sweeps repeat. cc/germany_osm is the expensive case the
+	// sweep-time acceptance tracks; spmm/webbase-1M is the profile-
+	// lookup case.
+	platform := hetsim.Default()
+	for _, ev := range []struct {
+		workload, dataset string
+	}{
+		{"cc", "germany_osm"},
+		{"spmm", "webbase-1M"},
+	} {
+		var eval func(float64) (time.Duration, error)
+		switch ev.workload {
+		case "cc":
+			d, err := datasets.ByName(ev.dataset)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := d.Graph()
+			if err != nil {
+				b.Fatal(err)
+			}
+			eval = hetcc.NewWorkload(ev.dataset, g, hetcc.NewAlgorithm(platform)).Evaluate
+		case "spmm":
+			d, err := datasets.ByName(ev.dataset)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := d.Matrix()
+			if err != nil {
+				b.Fatal(err)
+			}
+			w, err := hetspmm.NewWorkload(ev.dataset, m, hetspmm.NewAlgorithm(platform))
+			if err != nil {
+				b.Fatal(err)
+			}
+			eval = w.Evaluate
+		}
+		nsOp := timeKernel(b, "eval/"+ev.workload+"/"+ev.dataset, func() {
+			if _, err := eval(37); err != nil {
+				b.Fatal(err)
+			}
+		})
+		report.Evals = append(report.Evals, evalBenchRow{
+			Workload: ev.workload, Dataset: ev.dataset, NsPerEval: nsOp,
+		})
+	}
+
+	// A -bench filter that selects only some sub-benchmarks leaves the
+	// skipped rows at 0ns; writing that would poison the committed
+	// report (and the CI gate rejects non-positive timings anyway).
+	for _, row := range report.Kernels {
+		if row.RefNsOp <= 0 || row.TunedNsOp <= 0 {
+			b.Logf("skipping BENCH_kernels.json write: %s/%s was filtered out of this run", row.Kernel, row.Dataset)
+			return
+		}
+	}
+
+	logSum := 0.0
+	for _, row := range report.Kernels {
+		logSum += math.Log(row.Speedup)
+	}
+	report.GeomeanSpeedup = math.Exp(logSum / float64(len(report.Kernels)))
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_kernels.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_kernels.json (%d kernel rows, geomean %.2fx, gomaxprocs=%d, numcpu=%d)",
+		len(report.Kernels), report.GeomeanSpeedup, report.GOMAXPROCS, report.NumCPU)
+}

@@ -10,8 +10,11 @@
 // vacuously satisfiable while the engine was in fact slower on real
 // multi-core hosts. benchdiff therefore refuses outright — before any
 // per-case comparison — when either report was recorded on a single
-// core, or when the two reports were recorded at different GOMAXPROCS
-// (a mismatch makes every wall-clock ratio meaningless).
+// core, when either was recorded on a host with fewer than 4 CPUs
+// (GOMAXPROCS can be raised above the physical core count, which
+// oversubscribes instead of parallelizing and taints the recording
+// just the same), or when the two reports were recorded at different
+// GOMAXPROCS (a mismatch makes every wall-clock ratio meaningless).
 //
 // Per-case checks, keyed by (searcher, workload, dataset):
 //
@@ -50,12 +53,28 @@
 //   - admissions <= backends*rounds and builds <= items*rounds: one
 //     aggregate admission per sub-batch and at most one build per item
 //     are what the batch path exists to guarantee.
+//
+// -mode kernels switches to the BENCH_kernels.json contract written by
+// BenchmarkKernels (per-kernel tuned-vs-reference timings). Unlike the
+// other modes there are NO recording-environment refusals: every row
+// is the ratio of two measurements taken in the same process on the
+// same machine, so core count and clock speed cancel out and the gate
+// checks only machine-independent ratios:
+//
+//   - the geometric-mean speedup must reach -kernels-min-geomean (the
+//     tuning contract: tuned kernels beat the frozen references by
+//     1.3x overall), and the recorded geomean must match the one
+//     recomputed from the rows (a hand-edited report fails here).
+//   - per kernel row, keyed by (kernel, dataset): the speedup must not
+//     regress below baseline by more than -speedup-tolerance, and
+//     every baseline row must still be present.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 )
 
@@ -117,6 +136,15 @@ func diff(baseline, current benchReport, cfg gateConfig) []string {
 	}
 	if baseline.GOMAXPROCS != current.GOMAXPROCS {
 		fail("gomaxprocs mismatch: baseline %d vs current %d — wall-clock ratios are not comparable across different core counts", baseline.GOMAXPROCS, current.GOMAXPROCS)
+	}
+	// GOMAXPROCS can be set above the physical core count, which
+	// oversubscribes a small host instead of parallelizing on it; the
+	// recorded num_cpu catches that taint.
+	if baseline.NumCPU < 4 {
+		fail("baseline was recorded on a host with %d CPU(s) (num_cpu): parallel arms time-slice instead of running concurrently on fewer than 4 cores and must never serve as a baseline; re-record on a host with >=4 CPUs", baseline.NumCPU)
+	}
+	if current.NumCPU < 4 {
+		fail("current report was recorded on a host with %d CPU(s) (num_cpu): re-run the benchmark on a host with >=4 CPUs", current.NumCPU)
 	}
 	if len(problems) > 0 {
 		return problems
@@ -260,6 +288,113 @@ func diffBatch(baseline, current batchReport, cfg batchGateConfig) []string {
 	return problems
 }
 
+// kernelRow and kernelReport mirror the BENCH_kernels.json schema
+// written by BenchmarkKernels (bench_kernels_test.go). Only the fields
+// the gate reads are declared.
+type kernelRow struct {
+	Kernel    string  `json:"kernel"`
+	Dataset   string  `json:"dataset"`
+	Class     string  `json:"class"`
+	RefNsOp   float64 `json:"ref_ns_op"`
+	TunedNsOp float64 `json:"tuned_ns_op"`
+	Speedup   float64 `json:"speedup"`
+}
+
+func (r kernelRow) key() string { return r.Kernel + "/" + r.Dataset }
+
+type kernelReport struct {
+	GOMAXPROCS     int         `json:"gomaxprocs"`
+	NumCPU         int         `json:"num_cpu"`
+	Kernels        []kernelRow `json:"kernels"`
+	GeomeanSpeedup float64     `json:"geomean_speedup"`
+}
+
+// geomean recomputes the geometric mean of the row speedups.
+func (r kernelReport) geomean() float64 {
+	logSum := 0.0
+	for _, row := range r.Kernels {
+		logSum += math.Log(row.Speedup)
+	}
+	return math.Exp(logSum / float64(len(r.Kernels)))
+}
+
+type kernelGateConfig struct {
+	// SpeedupTolerance is the fractional per-kernel speedup regression
+	// allowed relative to baseline (shared with search mode).
+	SpeedupTolerance float64
+	// MinGeomean is the geometric-mean tuned/reference speedup the
+	// current report must reach (0 disables).
+	MinGeomean float64
+}
+
+// diffKernels returns every gate violation between a baseline and
+// current BENCH_kernels.json, in a stable order. Kernels mode has no
+// recording-environment refusals: each row is the ratio of two
+// measurements from the same process on the same machine, so host
+// speed and core count cancel — which is also why this gate can run
+// on a single-core CI container where the search gate cannot.
+func diffKernels(baseline, current kernelReport, cfg kernelGateConfig) []string {
+	var problems []string
+	fail := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	for _, row := range current.Kernels {
+		if row.Speedup <= 0 || row.TunedNsOp <= 0 || row.RefNsOp <= 0 {
+			fail("%s: non-positive timing (ref %.0fns, tuned %.0fns, speedup %.2fx): the recording is broken", row.key(), row.RefNsOp, row.TunedNsOp, row.Speedup)
+		}
+	}
+	if len(problems) > 0 {
+		return problems
+	}
+
+	if recomputed := current.geomean(); math.Abs(recomputed-current.GeomeanSpeedup) > 1e-6*recomputed {
+		fail("recorded geomean %.4fx does not match the rows (recomputed %.4fx): the report was edited or truncated", current.GeomeanSpeedup, recomputed)
+		return problems
+	}
+	if cfg.MinGeomean > 0 && current.GeomeanSpeedup < cfg.MinGeomean {
+		fail("geomean tuned/reference speedup %.2fx below the %.2fx tuning contract", current.GeomeanSpeedup, cfg.MinGeomean)
+	}
+
+	baseByKey := map[string]kernelRow{}
+	for _, row := range baseline.Kernels {
+		baseByKey[row.key()] = row
+	}
+	curByKey := map[string]kernelRow{}
+	for _, cur := range current.Kernels {
+		curByKey[cur.key()] = cur
+		base, ok := baseByKey[cur.key()]
+		if !ok {
+			continue // new kernel or dataset, nothing to regress against
+		}
+		if floor := base.Speedup * (1 - cfg.SpeedupTolerance); cur.Speedup < floor {
+			fail("%s: speedup regressed to %.2fx from baseline %.2fx (floor %.2fx at tolerance %.0f%%)",
+				cur.key(), cur.Speedup, base.Speedup, floor, cfg.SpeedupTolerance*100)
+		}
+	}
+	for _, base := range baseline.Kernels {
+		if _, ok := curByKey[base.key()]; !ok {
+			fail("%s: present in baseline but missing from current report", base.key())
+		}
+	}
+	return problems
+}
+
+func loadKernels(path string) (kernelReport, error) {
+	var r kernelReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Kernels) == 0 {
+		return r, fmt.Errorf("%s: not a kernel bench report (no kernel rows)", path)
+	}
+	return r, nil
+}
+
 func loadBatch(path string) (batchReport, error) {
 	var r batchReport
 	data, err := os.ReadFile(path)
@@ -291,7 +426,7 @@ func load(path string) (benchReport, error) {
 }
 
 func main() {
-	mode := flag.String("mode", "search", "report schema to gate: search (BENCH_search.json) or batch (BENCH_batch.json)")
+	mode := flag.String("mode", "search", "report schema to gate: search (BENCH_search.json), batch (BENCH_batch.json) or kernels (BENCH_kernels.json)")
 	baselinePath := flag.String("baseline", "", "baseline report (required)")
 	currentPath := flag.String("current", "", "freshly recorded report (required)")
 	cfg := gateConfig{}
@@ -302,8 +437,11 @@ func main() {
 	bcfg := batchGateConfig{}
 	flag.Float64Var(&bcfg.MinSpeedup, "batch-min-speedup", 2.0, "batch: absolute batch/sequential speedup the current report must reach (0 disables)")
 	flag.Float64Var(&bcfg.TTFRFrac, "ttfr-frac", 0.9, "batch: max time-to-first-result as a fraction of time-to-last (0 disables)")
+	kcfg := kernelGateConfig{}
+	flag.Float64Var(&kcfg.MinGeomean, "kernels-min-geomean", 1.3, "kernels: geometric-mean tuned/reference speedup the current report must reach (0 disables)")
 	flag.Parse()
 	bcfg.SpeedupTolerance = cfg.SpeedupTolerance
+	kcfg.SpeedupTolerance = cfg.SpeedupTolerance
 
 	if *baselinePath == "" || *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
@@ -341,8 +479,21 @@ func main() {
 		problems = diffBatch(baseline, current, bcfg)
 		summary = fmt.Sprintf("%d items x %d rounds at %.2fx speedup, ttfr %.1fms / ttlr %.1fms",
 			current.Items, current.Rounds, current.Speedup, current.Batch.TTFRMS, current.Batch.TTLRMS)
+	case "kernels":
+		baseline, err := loadKernels(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		current, err := loadKernels(*currentPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		problems = diffKernels(baseline, current, kcfg)
+		summary = fmt.Sprintf("%d kernel row(s) at %.2fx geomean speedup", len(current.Kernels), current.GeomeanSpeedup)
 	default:
-		fmt.Fprintf(os.Stderr, "benchdiff: unknown -mode %q (want search or batch)\n", *mode)
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown -mode %q (want search, batch or kernels)\n", *mode)
 		os.Exit(2)
 	}
 

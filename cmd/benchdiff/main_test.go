@@ -231,6 +231,31 @@ func TestBatchRebuildsFail(t *testing.T) {
 	expectBatchProblem(t, goodBatchReport(), current, "rebuilding")
 }
 
+func TestLowCPUCountRecordingIsHardFailure(t *testing.T) {
+	// GOMAXPROCS=4 on a 1-CPU host time-slices instead of running in
+	// parallel; the recorded num_cpu must catch it on either side.
+	baseline := goodReport()
+	baseline.NumCPU = 1
+	expectProblem(t, baseline, goodReport(), "never serve as a baseline")
+
+	current := goodReport()
+	current.NumCPU = 2
+	expectProblem(t, goodReport(), current, ">=4 CPUs")
+}
+
+func TestLowCPUCountSuppressesCaseChecks(t *testing.T) {
+	baseline := goodReport()
+	baseline.NumCPU = 1
+	current := goodReport()
+	current.Cases[0].Identical = false // would fail per-case, must not be reported
+	for _, p := range diff(baseline, current, defaultCfg()) {
+		if strings.Contains(p, "identical") {
+			t.Fatalf("per-case problem reported despite environment failure: %v",
+				diff(baseline, current, defaultCfg()))
+		}
+	}
+}
+
 func TestMinSpeedupIgnoresCheapCases(t *testing.T) {
 	// A microsecond-scale search cannot amortize fan-out overhead;
 	// its low speedup must not satisfy or trip the -min-speedup bar.
@@ -244,4 +269,103 @@ func TestMinSpeedupIgnoresCheapCases(t *testing.T) {
 	current := goodReport()
 	current.Cases = append(current.Cases, cheap)
 	expectClean(t, baseline, current)
+}
+
+func goodKernelReport() kernelReport {
+	r := kernelReport{GOMAXPROCS: 1, NumCPU: 1} // kernels mode permits any host
+	add := func(kernel, dataset string, speedup float64) {
+		r.Kernels = append(r.Kernels, kernelRow{
+			Kernel: kernel, Dataset: dataset, Class: "road",
+			RefNsOp: 1000 * speedup, TunedNsOp: 1000, Speedup: speedup,
+		})
+	}
+	add("spmv", "germany_osm", 1.6)
+	add("cc-dfs", "germany_osm", 1.2)
+	add("split-grid", "germany_osm", 40)
+	r.GeomeanSpeedup = r.geomean()
+	return r
+}
+
+func defaultKernelCfg() kernelGateConfig {
+	return kernelGateConfig{SpeedupTolerance: 0.30, MinGeomean: 1.3}
+}
+
+func expectKernelProblem(t *testing.T, baseline, current kernelReport, want string) {
+	t.Helper()
+	problems := diffKernels(baseline, current, defaultKernelCfg())
+	if len(problems) == 0 {
+		t.Fatalf("expected a problem mentioning %q, got none", want)
+	}
+	for _, p := range problems {
+		if strings.Contains(p, want) {
+			return
+		}
+	}
+	t.Fatalf("no problem mentions %q; got %v", want, problems)
+}
+
+func TestKernelsCleanDiffPasses(t *testing.T) {
+	if problems := diffKernels(goodKernelReport(), goodKernelReport(), defaultKernelCfg()); len(problems) > 0 {
+		t.Fatalf("expected clean diff, got %v", problems)
+	}
+}
+
+func TestKernelsSingleCoreRecordingIsAllowed(t *testing.T) {
+	// The whole point of kernels mode: tuned/ref ratios from one
+	// process are meaningful on any host, including 1-CPU CI runners.
+	r := goodKernelReport()
+	if r.GOMAXPROCS != 1 || r.NumCPU != 1 {
+		t.Fatal("fixture should model a single-core recording")
+	}
+	if problems := diffKernels(r, r, defaultKernelCfg()); len(problems) > 0 {
+		t.Fatalf("single-core kernel recording must pass, got %v", problems)
+	}
+}
+
+func TestKernelsGeomeanBelowContractFails(t *testing.T) {
+	current := goodKernelReport()
+	for i := range current.Kernels {
+		current.Kernels[i].Speedup = 1.05
+	}
+	current.GeomeanSpeedup = current.geomean()
+	expectKernelProblem(t, goodKernelReport(), current, "tuning contract")
+}
+
+func TestKernelsEditedGeomeanFails(t *testing.T) {
+	current := goodKernelReport()
+	current.GeomeanSpeedup = 99 // does not match the rows
+	expectKernelProblem(t, goodKernelReport(), current, "does not match the rows")
+}
+
+func TestKernelsPerKernelRegressionFails(t *testing.T) {
+	current := goodKernelReport()
+	current.Kernels[2].Speedup = 10 // below 40 * 0.7 = 28, geomean still fine
+	current.GeomeanSpeedup = current.geomean()
+	expectKernelProblem(t, goodKernelReport(), current, "speedup regressed")
+}
+
+func TestKernelsMissingRowFails(t *testing.T) {
+	current := goodKernelReport()
+	current.Kernels = current.Kernels[:2]
+	current.GeomeanSpeedup = current.geomean()
+	expectKernelProblem(t, goodKernelReport(), current, "missing from current")
+}
+
+func TestKernelsNewRowWithoutBaselinePasses(t *testing.T) {
+	current := goodKernelReport()
+	current.Kernels = append(current.Kernels, kernelRow{
+		Kernel: "symbolic", Dataset: "cant", Class: "fem",
+		RefNsOp: 1000, TunedNsOp: 1000, Speedup: 1.0,
+	})
+	current.GeomeanSpeedup = current.geomean()
+	if problems := diffKernels(goodKernelReport(), current, defaultKernelCfg()); len(problems) > 0 {
+		t.Fatalf("new row must not need a baseline, got %v", problems)
+	}
+}
+
+func TestKernelsBrokenTimingFails(t *testing.T) {
+	current := goodKernelReport()
+	current.Kernels[0].TunedNsOp = 0
+	current.Kernels[0].Speedup = 0
+	expectKernelProblem(t, goodKernelReport(), current, "recording is broken")
 }

@@ -1,0 +1,197 @@
+package graph
+
+// Equivalence tests for the masked (split-indexed) CC kernels. The
+// heterogeneous CC hot path never materializes the partition sub-CSRs:
+// DFSPrefixInto / ParallelCPUPrefixInto run on the first split[u] arcs
+// of each row, and ShiloachVishkinSuffixInto on the remainder with
+// renumbered ids. These tests pin each masked kernel to its unmasked
+// counterpart running on the explicitly materialized subgraph — full
+// CCResult equality, work counters included, across every generator
+// family and a sweep of partition bounds.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// maskedTestGraphs builds one modest instance of each generator family.
+func maskedTestGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	out := make(map[string]*Graph)
+	for _, cfg := range []GenGraphConfig{
+		{Kind: KindGNM, N: 3000, M: 9000, Seed: 11},
+		{Kind: KindRMAT, N: 4096, M: 16384, Seed: 12},
+		{Kind: KindRoad, N: 3600, M: 7200, Seed: 13},
+		{Kind: KindMesh, N: 3000, M: 9000, Seed: 14},
+	} {
+		g, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate(%v): %v", cfg.Kind, err)
+		}
+		out[cfg.Kind.String()] = g
+	}
+	return out
+}
+
+// splitAt returns split[u] = first position in row u whose neighbor id
+// is >= bound, for every row.
+func splitAt(g *Graph, bound int) []int32 {
+	split := make([]int32, g.N)
+	b := int32(bound)
+	for u := 0; u < g.N; u++ {
+		row := g.Neighbors(u)
+		k := 0
+		for k < len(row) && row[k] < b {
+			k++
+		}
+		split[u] = int32(k)
+	}
+	return split
+}
+
+// prefixSubgraph materializes vertices [0, bound) with the edges among
+// them; suffixSubgraph materializes vertices [bound, n) renumbered from
+// zero.
+func prefixSubgraph(g *Graph, bound int) *Graph {
+	rowPtr := make([]int64, bound+1)
+	var adj []int32
+	b := int32(bound)
+	for u := 0; u < bound; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v < b {
+				adj = append(adj, v)
+			}
+		}
+		rowPtr[u+1] = int64(len(adj))
+	}
+	return &Graph{N: bound, RowPtr: rowPtr, Adj: adj}
+}
+
+func suffixSubgraph(g *Graph, bound int) *Graph {
+	n := g.N - bound
+	rowPtr := make([]int64, n+1)
+	var adj []int32
+	b := int32(bound)
+	for u := bound; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v >= b {
+				adj = append(adj, v-b)
+			}
+		}
+		rowPtr[u-bound+1] = int64(len(adj))
+	}
+	return &Graph{N: n, RowPtr: rowPtr, Adj: adj}
+}
+
+func boundsFor(n int) []int {
+	return []int{0, 1, n / 3, n / 2, n - 1, n}
+}
+
+func TestDFSPrefixMatchesMaterialized(t *testing.T) {
+	for name, g := range maskedTestGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, bound := range boundsFor(g.N) {
+				split := splitAt(g, bound)
+				sub := prefixSubgraph(g, bound)
+
+				var got, want CCResult
+				DFSPrefixInto(g.RowPtr, g.Adj, split, bound, &got, new(CCScratch))
+				DFSInto(sub, &want, new(CCScratch))
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("bound %d: DFSPrefixInto != DFSInto on materialized prefix", bound)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelCPUPrefixMatchesMaterialized(t *testing.T) {
+	for name, g := range maskedTestGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, bound := range boundsFor(g.N) {
+				split := splitAt(g, bound)
+				sub := prefixSubgraph(g, bound)
+				for _, workers := range []int{1, 2, 4, 7} {
+					var got, want CCResult
+					crossArcs := ParallelCPUPrefixInto(g.RowPtr, g.Adj, split, bound, workers, &got, new(CCScratch))
+					ParallelCPUInto(sub, workers, &want, new(CCScratch))
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("bound %d workers %d: ParallelCPUPrefixInto != ParallelCPUInto on materialized prefix",
+							bound, workers)
+					}
+					// The returned cross-part count must equal a brute
+					// recount over the materialized prefix subgraph.
+					var wantCross int64
+					if workers > 1 {
+						for w := 0; w < workers; w++ {
+							lo := int32(w * sub.N / workers)
+							hi := int32((w + 1) * sub.N / workers)
+							for u := int(lo); u < int(hi); u++ {
+								for _, v := range sub.Neighbors(u) {
+									if v < lo || v >= hi {
+										wantCross++
+									}
+								}
+							}
+						}
+					}
+					if crossArcs != wantCross {
+						t.Fatalf("bound %d workers %d: crossArcs = %d, brute recount %d",
+							bound, workers, crossArcs, wantCross)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestShiloachVishkinSuffixMatchesMaterialized(t *testing.T) {
+	for name, g := range maskedTestGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, bound := range boundsFor(g.N) {
+				split := splitAt(g, bound)
+				sub := suffixSubgraph(g, bound)
+
+				var got, want CCResult
+				ShiloachVishkinSuffixInto(g.RowPtr, g.Adj, split, bound, g.N, &got, new(CCScratch))
+				ShiloachVishkinInto(sub, &want, new(CCScratch))
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("bound %d: ShiloachVishkinSuffixInto != ShiloachVishkinInto on materialized suffix",
+						bound)
+				}
+			}
+		})
+	}
+}
+
+// TestDegreeCVMatchesMoments pins the closed-form-sum DegreeCV to the
+// shared stats implementation, bit for bit: the closed-form mean
+// (float64 of the exact integer arc total) must reproduce the
+// reference's sequential accumulation exactly, since every partial sum
+// of integer degrees is an integer far below 2^53.
+func TestDegreeCVMatchesMoments(t *testing.T) {
+	for name, g := range maskedTestGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			got := g.DegreeCV()
+			want := stats.MomentsOf(g.N, g.Degree).CV
+			if got != want {
+				t.Fatalf("DegreeCV = %x, stats.MomentsOf CV = %x", got, want)
+			}
+		})
+	}
+
+	// Degenerate shapes fall back to the shared zero conventions.
+	for _, g := range []*Graph{
+		{N: 0, RowPtr: []int64{0}},
+		{N: 1, RowPtr: []int64{0, 0}},
+		{N: 3, RowPtr: []int64{0, 0, 0, 0}}, // no arcs: mean 0
+	} {
+		got := g.DegreeCV()
+		want := stats.MomentsOf(g.N, g.Degree).CV
+		if got != want {
+			t.Fatalf("N=%d: DegreeCV = %v, stats.MomentsOf CV = %v", g.N, got, want)
+		}
+	}
+}

@@ -15,8 +15,18 @@ type CCScratch struct {
 	stack  []int32
 	active []Edge
 	old    []int32
-	uf     UnionFind
-	minOf  []int32
+	// jump is the third parent buffer of the tuned Shiloach–Vishkin:
+	// the pointer-jumping pass writes into it and the roles swap each
+	// round, replacing one of the reference kernel's two O(n) parent
+	// copies per round.
+	jump []int32
+	// roots is a per-vertex bitmap of the snapshot's root set
+	// (old[v] == v), rebuilt during each jump pass. The hooking scan
+	// tests it instead of gathering old[pu] — the bitmap is 32×
+	// smaller than the parent array and stays cache-resident.
+	roots []uint64
+	uf    UnionFind
+	minOf []int32
 }
 
 // labelsFor returns the scratch label buffer resized to n.
@@ -36,6 +46,23 @@ func (s *CCScratch) oldFor(n int) []int32 {
 	return s.old
 }
 
+func (s *CCScratch) jumpFor(n int) []int32 {
+	if cap(s.jump) < n {
+		s.jump = make([]int32, n)
+	}
+	s.jump = s.jump[:n]
+	return s.jump
+}
+
+func (s *CCScratch) rootsFor(n int) []uint64 {
+	words := (n + 63) >> 6
+	if cap(s.roots) < words {
+		s.roots = make([]uint64, words)
+	}
+	s.roots = s.roots[:words]
+	return s.roots
+}
+
 func (s *CCScratch) minOfFor(n int) []int32 {
 	if cap(s.minOf) < n {
 		s.minOf = make([]int32, n)
@@ -45,7 +72,10 @@ func (s *CCScratch) minOfFor(n int) []int32 {
 }
 
 // DFSInto is DFS drawing its buffers from s. The result is written
-// into res (fully overwritten); res.Labels alias s.
+// into res (fully overwritten); res.Labels alias s. The inner loop
+// walks the CSR arrays directly and charges EdgesVisited per popped
+// vertex (its full degree) instead of per arc — the counter totals
+// are identical to DFSRef's, pinned by the golden suite.
 func DFSInto(g *Graph, res *CCResult, s *CCScratch) {
 	labels := s.labelsFor(g.N)
 	for v := range labels {
@@ -56,6 +86,7 @@ func DFSInto(g *Graph, res *CCResult, s *CCScratch) {
 		s.stack = make([]int32, 0, 1024)
 	}
 	stack := s.stack
+	rp, adj := g.RowPtr, g.Adj
 	for start := 0; start < g.N; start++ {
 		if labels[start] >= 0 {
 			continue
@@ -68,9 +99,10 @@ func DFSInto(g *Graph, res *CCResult, s *CCScratch) {
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, w := range g.Neighbors(int(u)) {
-				res.EdgesVisited++
-				if labels[w] < 0 {
+			lo, hi := rp[u], rp[u+1]
+			res.EdgesVisited += hi - lo
+			for k := lo; k < hi; k++ {
+				if w := adj[k]; labels[w] < 0 {
 					labels[w] = root
 					res.VerticesVisited++
 					stack = append(stack, w)
@@ -79,6 +111,210 @@ func DFSInto(g *Graph, res *CCResult, s *CCScratch) {
 		}
 	}
 	s.stack = stack[:0] // keep any growth for the next call
+}
+
+// DFSPrefixInto is DFSInto on the prefix subgraph with vertex set
+// [0, n) of a sorted-adjacency CSR: row u contributes its first
+// split[u] arcs (the neighbors < n). It produces the identical
+// CCResult (labels and counters) as materializing the prefix sub-CSR
+// and running DFSInto on it, without copying a single arc.
+func DFSPrefixInto(rowPtr []int64, adj []int32, split []int32, n int, res *CCResult, s *CCScratch) {
+	labels := s.labelsFor(n)
+	for v := range labels {
+		labels[v] = -1
+	}
+	*res = CCResult{Labels: labels}
+	if cap(s.stack) == 0 {
+		s.stack = make([]int32, 0, 1024)
+	}
+	stack := s.stack
+	for start := 0; start < n; start++ {
+		if labels[start] >= 0 {
+			continue
+		}
+		res.Components++
+		root := int32(start)
+		labels[start] = root
+		stack = append(stack[:0], root)
+		res.VerticesVisited++
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			lo := rowPtr[u]
+			hi := lo + int64(split[u])
+			res.EdgesVisited += hi - lo
+			for k := lo; k < hi; k++ {
+				if w := adj[k]; labels[w] < 0 {
+					labels[w] = root
+					res.VerticesVisited++
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	s.stack = stack[:0]
+}
+
+// ParallelCPUPrefixInto is ParallelCPUInto on the prefix subgraph with
+// vertex set [0, n) whose row u is the first split[u] arcs of the
+// masked CSR row (see DFSPrefixInto). Identical CCResult to
+// materializing the prefix sub-CSR, with no arc copies.
+//
+// It returns the number of cross-part arcs under the workers-way
+// contiguous decomposition — the quantity the heterogeneous cost model
+// charges its CPU merge kernel for. The merge pass locates every
+// boundary-crossing row's in-part range anyway, so the count rides
+// along for free instead of costing the caller a second row scan.
+func ParallelCPUPrefixInto(rowPtr []int64, adj []int32, split []int32, n, workers int, res *CCResult, s *CCScratch) (crossArcs int64) {
+	if workers <= 1 || n < 2*workers {
+		DFSPrefixInto(rowPtr, adj, split, n, res, s)
+		return crossPartPrefix(rowPtr, adj, split, n, workers)
+	}
+	labels := s.labelsFor(n)
+	for v := range labels {
+		labels[v] = -1
+	}
+	*res = CCResult{Labels: labels}
+	if cap(s.stack) == 0 {
+		s.stack = make([]int32, 0, 1024)
+	}
+	stack := s.stack
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		span := uint(hi - lo)
+		for start := lo; start < hi; start++ {
+			if labels[start] >= 0 {
+				continue
+			}
+			root := int32(start)
+			labels[start] = root
+			res.VerticesVisited++
+			stack = append(stack[:0], root)
+			for len(stack) > 0 {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				alo := rowPtr[u]
+				ahi := alo + int64(split[u])
+				res.EdgesVisited += ahi - alo
+				for k := alo; k < ahi; k++ {
+					v := adj[k]
+					if uint(int(v)-lo) >= span {
+						continue // cross-part edge; merged later
+					}
+					if labels[v] < 0 {
+						labels[v] = root
+						res.VerticesVisited++
+						stack = append(stack, v)
+					}
+				}
+			}
+		}
+	}
+	s.stack = stack[:0]
+
+	// Merge across part boundaries. Within a part the restricted DFS
+	// gives adjacent vertices the same label, so only a row's
+	// out-of-part neighbors — the sorted prefix below the part and
+	// suffix at or above it — can differ and contribute unions or
+	// EdgesVisited increments. Rows entirely inside their part (the
+	// vast majority on locality-ordered graphs) are skipped with two
+	// endpoint loads.
+	s.uf.Reset(n)
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		lo32, hi32 := int32(lo), int32(hi)
+		for u := lo; u < hi; u++ {
+			alo := rowPtr[u]
+			row := adj[alo : alo+int64(split[u])]
+			if len(row) == 0 || (row[0] >= lo32 && row[len(row)-1] < hi32) {
+				continue
+			}
+			lu := labels[u]
+			below := lowerBound32(row, lo32)
+			above := lowerBound32(row, hi32)
+			crossArcs += int64(below) + int64(len(row)-above)
+			for _, v := range row[:below] {
+				if lv := labels[v]; lu != lv {
+					s.uf.Union(int(lu), int(lv))
+					res.EdgesVisited++
+				}
+			}
+			for _, v := range row[above:] {
+				if lv := labels[v]; lu != lv {
+					s.uf.Union(int(lu), int(lv))
+					res.EdgesVisited++
+				}
+			}
+		}
+	}
+	// Resolve and canonicalize in one ascending pass: the first vertex
+	// to reach a union-find root is its component's minimum id.
+	minOf := s.minOfFor(n)
+	for i := range minOf {
+		minOf[i] = -1
+	}
+	components := 0
+	for v := range labels {
+		r := s.uf.Find(int(labels[v]))
+		if minOf[r] < 0 {
+			minOf[r] = int32(v)
+			components++
+		}
+		labels[v] = minOf[r]
+	}
+	res.Components = components
+	return crossArcs
+}
+
+// crossPartPrefix counts the prefix subgraph's cross-part arcs under a
+// workers-way contiguous decomposition — the same per-part boundary
+// searches as ParallelCPUPrefixInto's merge pass. It backs the DFS
+// fallback path, where no merge pass runs to count them.
+func crossPartPrefix(rowPtr []int64, adj []int32, split []int32, n, workers int) int64 {
+	if workers <= 1 {
+		// One part spans [0, n) and every prefix arc points below n
+		// by the split-index contract, so nothing crosses.
+		return 0
+	}
+	var cross int64
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		lo32, hi32 := int32(lo), int32(hi)
+		for u := lo; u < hi; u++ {
+			alo := rowPtr[u]
+			row := adj[alo : alo+int64(split[u])]
+			if len(row) == 0 || (row[0] >= lo32 && row[len(row)-1] < hi32) {
+				continue
+			}
+			cross += int64(lowerBound32(row, lo32)) + int64(len(row)-lowerBound32(row, hi32))
+		}
+	}
+	return cross
+}
+
+// lowerBound32 returns the first index in the sorted slice whose value
+// is >= bound: linear for short rows, binary search for long ones.
+func lowerBound32(row []int32, bound int32) int {
+	if len(row) <= 16 {
+		k := 0
+		for k < len(row) && row[k] < bound {
+			k++
+		}
+		return k
+	}
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < bound {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // ParallelCPUInto reproduces ParallelCPU's partitioned restricted-DFS
@@ -104,9 +340,11 @@ func ParallelCPUInto(g *Graph, workers int, res *CCResult, s *CCScratch) {
 		s.stack = make([]int32, 0, 1024)
 	}
 	stack := s.stack
+	rp, adj := g.RowPtr, g.Adj
 	for w := 0; w < workers; w++ {
 		lo := w * g.N / workers
 		hi := (w + 1) * g.N / workers
+		span := uint(hi - lo)
 		for start := lo; start < hi; start++ {
 			if labels[start] >= 0 {
 				continue
@@ -118,9 +356,11 @@ func ParallelCPUInto(g *Graph, workers int, res *CCResult, s *CCScratch) {
 			for len(stack) > 0 {
 				u := stack[len(stack)-1]
 				stack = stack[:len(stack)-1]
-				for _, v := range g.Neighbors(int(u)) {
-					res.EdgesVisited++
-					if int(v) < lo || int(v) >= hi {
+				alo, ahi := rp[u], rp[u+1]
+				res.EdgesVisited += ahi - alo
+				for k := alo; k < ahi; k++ {
+					v := adj[k]
+					if uint(int(v)-lo) >= span {
 						continue // cross-part edge; merged later
 					}
 					if labels[v] < 0 {
@@ -135,11 +375,14 @@ func ParallelCPUInto(g *Graph, workers int, res *CCResult, s *CCScratch) {
 	s.stack = stack[:0]
 
 	// Merge across part boundaries with union–find over the labels.
+	// Union never rewrites labels, so labels[u] is loop-invariant per
+	// row and hoisted out of the arc scan.
 	s.uf.Reset(g.N)
 	for u := 0; u < g.N; u++ {
-		for _, v := range g.Neighbors(u) {
-			if labels[u] != labels[v] {
-				s.uf.Union(int(labels[u]), int(labels[v]))
+		lu := labels[u]
+		for k := rp[u]; k < rp[u+1]; k++ {
+			if lv := labels[adj[k]]; lu != lv {
+				s.uf.Union(int(lu), int(lv))
 				res.EdgesVisited++
 			}
 		}
@@ -147,64 +390,166 @@ func ParallelCPUInto(g *Graph, workers int, res *CCResult, s *CCScratch) {
 	for v := range labels {
 		labels[v] = int32(s.uf.Find(int(labels[v])))
 	}
-	CanonicalizeMinLabelsInto(labels, s.minOfFor(g.N))
-	res.Components = NumComponents(labels)
+	res.Components = CanonicalizeMinLabelsCountInto(labels, s.minOfFor(g.N))
 }
 
 // ShiloachVishkinInto is ShiloachVishkin drawing its buffers from s.
+//
+// It is the tuned form of ShiloachVishkinRef, exploiting the kernel's
+// parent-monotonicity invariant: every write keeps parent[v] <= v
+// (initialization sets parent[v] = v, hooking writes a smaller root,
+// jumping writes old[old[v]] <= old[v]). Three consequences, each
+// preserving bit-identical labels and counters:
+//
+//   - the jump pass writes parent[parent[v]] into a separate buffer
+//     (s.jump) and into the snapshot buffer, then swaps roles, so both
+//     of the reference's O(n) parent copies per round disappear (reads
+//     all come from the untouched current buffer, and the snapshot for
+//     the next round is exactly this round's jump output);
+//   - round 1 runs against the identity forest, where the hooking rule
+//     provably reduces to a running min-scatter over the (u < v)
+//     frontier with no convergence filtering;
+//   - because old[old[v]] <= old[v] always holds, the reference's
+//     "did it shrink" comparison reduces to "did it change", tracked
+//     branch-free by OR-ing XOR deltas instead of a data-dependent
+//     conditional store;
+//   - EdgesVisited/VerticesVisited are charged per round (frontier
+//     length and vertex count) instead of per arc — same totals, no
+//     increment in the inner loops.
+//
+// The frontier compaction (active edges whose endpoints converged are
+// dropped each round) is inherited from the reference.
 func ShiloachVishkinInto(g *Graph, res *CCResult, s *CCScratch) {
-	parent := s.labelsFor(g.N)
+	active := s.active[:0]
+	rp, adj := g.RowPtr, g.Adj
+	for u := 0; u < g.N; u++ {
+		uu := int32(u)
+		for k := rp[u]; k < rp[u+1]; k++ {
+			if v := adj[k]; uu < v {
+				active = append(active, Edge{U: uu, V: v})
+			}
+		}
+	}
+	s.active = active
+	shiloachVishkinRun(g.N, res, s)
+}
+
+// ShiloachVishkinSuffixInto is ShiloachVishkinInto on the suffix
+// subgraph with vertex set [bound, n) of a sorted-adjacency CSR,
+// renumbered from 0: row u contributes its arcs from position split[u]
+// on (the neighbors >= bound). It produces the identical CCResult as
+// materializing the suffix sub-CSR and running ShiloachVishkinInto on
+// it — the frontier is built in the same (u ascending, k ascending)
+// order — without copying a single arc. The heterogeneous CC runner's
+// per-threshold evaluations use this with a precomputed split index.
+func ShiloachVishkinSuffixInto(rowPtr []int64, adj []int32, split []int32, bound, n int, res *CCResult, s *CCScratch) {
+	active := s.active[:0]
+	b := int32(bound)
+	for u := bound; u < n; u++ {
+		uu := int32(u) - b
+		for k := rowPtr[u] + int64(split[u]); k < rowPtr[u+1]; k++ {
+			if v := adj[k] - b; uu < v {
+				active = append(active, Edge{U: uu, V: v})
+			}
+		}
+	}
+	s.active = active
+	shiloachVishkinRun(n-bound, res, s)
+}
+
+// shiloachVishkinRun executes the hooking/jumping rounds over the
+// frontier staged in s.active for an n-vertex graph.
+func shiloachVishkinRun(n int, res *CCResult, s *CCScratch) {
+	parent := s.labelsFor(n)
 	for v := range parent {
 		parent[v] = int32(v)
 	}
 	*res = CCResult{Labels: parent}
-	if g.N == 0 {
+	if n == 0 {
+		s.active = s.active[:0]
 		return
 	}
-	active := s.active[:0]
-	for u := 0; u < g.N; u++ {
-		for _, v := range g.Neighbors(u) {
-			if int32(u) < v {
-				active = append(active, Edge{U: int32(u), V: v})
-			}
-		}
-	}
-	old := s.oldFor(g.N)
+	active := s.active
+	old := s.oldFor(n)
+	next := s.jumpFor(n)
+	roots := s.rootsFor(n)
+	first := true
 	for len(active) > 0 {
 		res.Rounds++
-		changed := false
-		copy(old, parent)
-		keep := active[:0]
-		for _, e := range active {
-			res.EdgesVisited++
-			pu, pv := old[e.U], old[e.V]
-			if pu == pv {
-				continue // converged; filtered from later rounds
-			}
-			keep = append(keep, e)
-			if pv < pu && old[pu] == pu {
-				if pv < parent[pu] {
-					parent[pu] = pv
-					changed = true
-				}
-			} else if pu < pv && old[pv] == pv {
-				if pu < parent[pv] {
-					parent[pv] = pu
-					changed = true
+		res.EdgesVisited += int64(len(active))
+		hooked := false
+		if first {
+			// Round 1 runs against the identity forest: for every edge
+			// (u < v by construction) the snapshot values are pu = u,
+			// pv = v, so pu != pv (nothing converges), the smaller
+			// endpoint is always pu, old[pv] == pv always holds, and
+			// the general hooking rule collapses to a running
+			// min-scatter that keeps the whole frontier.
+			first = false
+			for _, e := range active {
+				if e.U < parent[e.V] {
+					parent[e.V] = e.U
+					hooked = true
 				}
 			}
+		} else {
+			kn := 0
+			for _, e := range active {
+				pu, pv := old[e.U], old[e.V]
+				if pu == pv {
+					continue // converged; filtered from later rounds
+				}
+				active[kn] = e
+				kn++
+				// Hook the root of the larger label onto the smaller;
+				// only roots (per the snapshot) may be hooked — the
+				// bitmap answers old[x] == x without gathering from
+				// the full parent-sized snapshot. The reference's
+				// two-sided rule is "the larger of pu, pv is hooked
+				// with the smaller as candidate"; selecting hi/lo with
+				// conditional moves keeps one code path and spares the
+				// data-dependent branch.
+				hi, lo := max(pu, pv), min(pu, pv)
+				if roots[uint32(hi)>>6]>>(uint32(hi)&63)&1 != 0 && lo < parent[hi] {
+					parent[hi] = lo
+					hooked = true
+				}
+			}
+			active = active[:kn]
 		}
-		active = keep
-		copy(old, parent)
-		for v := 0; v < g.N; v++ {
-			res.VerticesVisited++
-			np := old[old[v]]
-			if np != parent[v] && np < parent[v] {
-				parent[v] = np
-				changed = true
+		res.VerticesVisited += int64(n)
+		// The jump pass also materializes the next round's snapshot:
+		// after the swap parent holds exactly the values being written
+		// here, so storing them into old as well replaces the
+		// reference's copy(old, parent) at the top of each round. It
+		// rebuilds the root bitmap on the way: jumping never changes
+		// the root set (parent[parent[r]] == r forces parent[r] == r
+		// under the monotonicity invariant), so the snapshot roots of
+		// the next round are exactly the post-hook roots seen here.
+		var diff int32
+		var rw uint64
+		p, d, o := parent[:n], next[:n], old[:n]
+		for v := 0; v < n; v++ {
+			pv := p[v]
+			np := p[pv]
+			d[v] = np
+			o[v] = np
+			diff |= np ^ pv
+			isRoot := uint64(0)
+			if pv == int32(v) {
+				isRoot = 1
+			}
+			rw |= isRoot << (uint(v) & 63)
+			if uint(v)&63 == 63 {
+				roots[uint(v)>>6] = rw
+				rw = 0
 			}
 		}
-		if !changed && len(active) > 0 {
+		if uint(n)&63 != 0 {
+			roots[uint(n)>>6] = rw
+		}
+		parent, next = next, parent
+		if !hooked && diff == 0 && len(active) > 0 {
 			filtered := active[:0]
 			for _, e := range active {
 				if parent[e.U] != parent[e.V] {
@@ -218,8 +563,8 @@ func ShiloachVishkinInto(g *Graph, res *CCResult, s *CCScratch) {
 		}
 	}
 	s.active = active[:0]
-	CanonicalizeMinLabelsInto(parent, s.minOfFor(g.N))
-	res.Components = NumComponents(parent)
+	res.Labels = parent
+	res.Components = CanonicalizeMinLabelsCountInto(parent, s.minOfFor(n))
 }
 
 // CanonicalizeMinLabelsInto rewrites labels so each component is
@@ -229,15 +574,27 @@ func ShiloachVishkinInto(g *Graph, res *CCResult, s *CCScratch) {
 // heterogeneous runners' merge phases, which canonicalize after their
 // own union–find pass.
 func CanonicalizeMinLabelsInto(labels, minOf []int32) {
+	CanonicalizeMinLabelsCountInto(labels, minOf)
+}
+
+// CanonicalizeMinLabelsCountInto is CanonicalizeMinLabelsInto
+// returning the component count as a byproduct: each first visit of a
+// representative is exactly one component, so the count equals
+// NumComponents of the canonicalized labels without the extra O(n)
+// pass. The tuned kernels and the heterogeneous merge use this form.
+func CanonicalizeMinLabelsCountInto(labels, minOf []int32) int {
 	for i := range minOf {
 		minOf[i] = -1
 	}
+	components := 0
 	for v, l := range labels {
 		if minOf[l] < 0 {
 			minOf[l] = int32(v)
+			components++
 		}
 		labels[v] = minOf[l]
 	}
+	return components
 }
 
 // Reset reinitializes the forest to n singleton sets, reusing the

@@ -90,18 +90,18 @@ func ccCPUTime(dev *hetsim.Device, c int, gCPU *graph.Graph) time.Duration {
 	if gCPU.N == 0 {
 		return 0
 	}
+	// Arcs leaving a thread's part must be reconciled by the merge
+	// pass. Adjacency lists are sorted, so instead of testing every
+	// arc the in-part neighbors of u form one contiguous run:
+	// count them with two boundary searches and charge the rest.
 	var crossPart int64
 	for w := 0; w < c; w++ {
 		lo := w * gCPU.N / c
 		hi := (w + 1) * gCPU.N / c
-		// Arcs leaving the part must be reconciled by the merge
-		// pass.
 		for u := lo; u < hi; u++ {
-			for _, v := range gCPU.Neighbors(u) {
-				if int(v) < lo || int(v) >= hi {
-					crossPart++
-				}
-			}
+			adj := gCPU.Neighbors(u)
+			inPart := adjLowerBound(adj, int32(hi)) - adjLowerBound(adj, int32(lo))
+			crossPart += int64(len(adj) - inPart)
 		}
 	}
 	// A DFS edge visit is a dependent-load chain (fetch neighbor,
@@ -125,6 +125,108 @@ func ccCPUTime(dev *hetsim.Device, c int, gCPU *graph.Graph) time.Duration {
 		ParallelFraction: 0.5,
 	}
 	return dev.TimeAll(dfs, merge)
+}
+
+// ccCPUTimeSplit is ccCPUTime reading G_CPU through the split index
+// instead of a materialized sub-CSR: row u of G_CPU is the first
+// split[u] arcs of g's row u, cpuArcs is their total, and crossPart is
+// the cross-part arc count under the same c-way decomposition —
+// returned by graph.ParallelCPUPrefixInto from the boundary searches
+// its merge pass performs anyway, so the model charges the identical
+// duration (same crossPart, arc count and degree CV, with the CV
+// computed in stats.MomentsOf float order) without re-scanning a row.
+func ccCPUTimeSplit(dev *hetsim.Device, c int, split []int32, nCPU int, cpuArcs, crossPart int64) time.Duration {
+	if nCPU == 0 {
+		return 0
+	}
+	const dfsOpsPerArc = 40
+	dfs := hetsim.Kernel{
+		Name:             "cc-dfs",
+		Ops:              dfsOpsPerArc * cpuArcs,
+		Bytes:            9 * cpuArcs,
+		Launches:         c,
+		IrregularityCV:   degreeCVPrefix(split, nCPU, cpuArcs),
+		ParallelFraction: 0.98,
+	}
+	merge := hetsim.Kernel{
+		Name:             "cc-cpu-merge",
+		Ops:              12 * crossPart,
+		Bytes:            8 * crossPart,
+		Launches:         1,
+		ParallelFraction: 0.5,
+	}
+	return dev.TimeAll(dfs, merge)
+}
+
+// degreeCVPrefix is graph.DegreeCV over the prefix partition's degrees
+// (split[u] for u < n), float op for float op. arcs is the precomputed
+// degree total; summing the integer-valued degrees in float64 is exact
+// (every partial sum is an integer far below 2^53), so float64(arcs)
+// is bit-identical to the reference's sequential accumulation.
+func degreeCVPrefix(split []int32, n int, arcs int64) float64 {
+	if n < 2 {
+		return 0
+	}
+	mean := float64(arcs) / float64(n)
+	if mean <= 0 {
+		return 0
+	}
+	var m2 float64
+	for i := 0; i < n; i++ {
+		d := float64(split[i]) - mean
+		m2 += d * d
+	}
+	m2 /= float64(n)
+	if m2 <= 0 {
+		return 0
+	}
+	return math.Sqrt(m2) / mean
+}
+
+// degreeCVSuffix is graph.DegreeCV over the suffix partition's degrees
+// (row length minus split[u] for u in [bound, n)), float op for float
+// op, with the sum pass replaced by the precomputed arc total (exact;
+// see degreeCVPrefix).
+func degreeCVSuffix(rowPtr []int64, split []int32, bound, n int, arcs int64) float64 {
+	cnt := n - bound
+	if cnt < 2 {
+		return 0
+	}
+	mean := float64(arcs) / float64(cnt)
+	if mean <= 0 {
+		return 0
+	}
+	var m2 float64
+	lo := rowPtr[bound]
+	for u := bound; u < n; u++ {
+		hi := rowPtr[u+1]
+		d := float64(hi-lo-int64(split[u])) - mean
+		m2 += d * d
+		lo = hi
+	}
+	m2 /= float64(cnt)
+	if m2 <= 0 {
+		return 0
+	}
+	return math.Sqrt(m2) / mean
+}
+
+// ccGPUTimeSplit is ccGPUTime with the suffix partition's degree CV
+// computed through the split index.
+func ccGPUTimeSplit(dev *hetsim.Device, g *graph.Graph, split []int32, nCPU int, gpuArcs int64, r *graph.CCResult) time.Duration {
+	if g.N-nCPU == 0 {
+		return 0
+	}
+	k := hetsim.Kernel{
+		Name:             "cc-sv",
+		Ops:              2 * r.EdgesVisited,
+		Bytes:            10 * r.EdgesVisited,
+		Launches:         2 * r.Rounds,
+		ParallelFraction: 1, // per-kernel serialization is the launch latency
+
+		IrregularityCV: degreeCVSuffix(g.RowPtr, split, nCPU, g.N, gpuArcs),
+	}
+	return dev.Time(k)
 }
 
 // gpuTime charges Shiloach–Vishkin from its measured counters: every

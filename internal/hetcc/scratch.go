@@ -2,7 +2,6 @@ package hetcc
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/graph"
@@ -25,6 +24,15 @@ type runScratch struct {
 	cpuAdj     []int32
 	gpuAdj     []int32
 	cross      []graph.Edge
+
+	// split[u] is the index of the first neighbor of u that is >= the
+	// partition bound — the per-row split index of the current
+	// threshold. The hot path (runInto) never materializes the
+	// sub-CSRs: the masked graph kernels and the cost models read the
+	// original adjacency through this index instead. cpuArcs/gpuArcs
+	// are the arc counts of the implied G_CPU and G_GPU.
+	split            []int32
+	cpuArcs, gpuArcs int64
 
 	cpuRes, gpuRes graph.CCResult
 	ccCPU, ccGPU   graph.CCScratch
@@ -53,6 +61,30 @@ func growInt64(s []int64, n int) []int64 {
 	return s[:n]
 }
 
+// adjLowerBound returns the first index in the sorted adjacency list
+// whose neighbor id is >= bound. Short lists (the common case on road
+// and mesh graphs) are scanned linearly — fewer branches and no
+// closure than sort.Search; long lists binary-search.
+func adjLowerBound(adj []int32, bound int32) int {
+	if len(adj) <= 16 {
+		k := 0
+		for k < len(adj) && adj[k] < bound {
+			k++
+		}
+		return k
+	}
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if adj[mid] < bound {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // partitionInto splits g at vertex nCPU directly on the CSR structure
 // into s: G_CPU (vertices [0, nCPU)), G_GPU (vertices [nCPU, n),
 // renumbered from 0) and the cross-edge list (original ids,
@@ -75,7 +107,7 @@ func partitionInto(g *graph.Graph, nCPU int, s *runScratch) error {
 	s.cpuRowPtr[0] = 0
 	for u := 0; u < nCPU; u++ {
 		adj := g.Neighbors(u)
-		k := sort.Search(len(adj), func(i int) bool { return adj[i] >= bound })
+		k := adjLowerBound(adj, bound)
 		s.cpuAdj = append(s.cpuAdj, adj[:k]...)
 		s.cpuRowPtr[u+1] = int64(len(s.cpuAdj))
 		for _, v := range adj[k:] {
@@ -85,9 +117,14 @@ func partitionInto(g *graph.Graph, nCPU int, s *runScratch) error {
 	s.gpuRowPtr[0] = 0
 	for u := nCPU; u < g.N; u++ {
 		adj := g.Neighbors(u)
-		k := sort.Search(len(adj), func(i int) bool { return adj[i] >= bound })
-		for _, v := range adj[k:] {
-			s.gpuAdj = append(s.gpuAdj, v-bound)
+		k := adjLowerBound(adj, bound)
+		// Bulk-copy the kept suffix, then renumber in place: one
+		// memmove plus a vectorizable subtract instead of a
+		// per-neighbor append.
+		base := len(s.gpuAdj)
+		s.gpuAdj = append(s.gpuAdj, adj[k:]...)
+		for i := base; i < len(s.gpuAdj); i++ {
+			s.gpuAdj[i] -= bound
 		}
 		s.gpuRowPtr[u-nCPU+1] = int64(len(s.gpuAdj))
 	}
@@ -96,10 +133,62 @@ func partitionInto(g *graph.Graph, nCPU int, s *runScratch) error {
 	return nil
 }
 
+// splitRowsInto computes the per-row split index of g at vertex nCPU
+// (split[u] = first position in row u with neighbor >= nCPU) together
+// with the cross-edge list and the arc counts of the implied
+// partitions. This replaces partitionInto on the evaluation hot path:
+// the sub-CSRs are never materialized — the masked kernels
+// (graph.ParallelCPUPrefixInto, graph.ShiloachVishkinSuffixInto) and
+// the split-indexed cost models consume the original adjacency through
+// split, with results and charged work identical arc for arc.
+func splitRowsInto(g *graph.Graph, nCPU int, s *runScratch) error {
+	if nCPU < 0 || nCPU > g.N {
+		return fmt.Errorf("hetcc: split %d outside [0, %d]", nCPU, g.N)
+	}
+	s.split = growInt32(s.split, g.N)
+	s.cross = s.cross[:0]
+	bound := int32(nCPU)
+	var cpuArcs, gpuArcs int64
+	rp, adj := g.RowPtr, g.Adj
+	for u := 0; u < nCPU; u++ {
+		row := adj[rp[u]:rp[u+1]]
+		// Sorted rows: if the last neighbor is already below the bound
+		// the whole row is CPU-side — the common case well inside the
+		// prefix on locality-ordered graphs.
+		if len(row) == 0 || row[len(row)-1] < bound {
+			s.split[u] = int32(len(row))
+			cpuArcs += int64(len(row))
+			continue
+		}
+		k := adjLowerBound(row, bound)
+		s.split[u] = int32(k)
+		cpuArcs += int64(k)
+		for _, v := range row[k:] {
+			s.cross = append(s.cross, graph.Edge{U: int32(u), V: v})
+		}
+	}
+	for u := nCPU; u < g.N; u++ {
+		row := adj[rp[u]:rp[u+1]]
+		// Mirror case: a first neighbor at or past the bound puts the
+		// whole row GPU-side.
+		if len(row) == 0 || row[0] >= bound {
+			s.split[u] = 0
+			gpuArcs += int64(len(row))
+			continue
+		}
+		k := adjLowerBound(row, bound)
+		s.split[u] = int32(k)
+		gpuArcs += int64(len(row) - k)
+	}
+	s.cpuArcs, s.gpuArcs = cpuArcs, gpuArcs
+	return nil
+}
+
 // mergeLabelsInto combines the partition-local labelings into a global
 // one (buffered in s) using a union–find over the cross edges, then
-// canonicalizes to minimum-vertex-id labels.
-func mergeLabelsInto(g *graph.Graph, nCPU int, cpuRes, gpuRes *graph.CCResult, cross []graph.Edge, s *runScratch) []int32 {
+// canonicalizes to minimum-vertex-id labels. The second return is the
+// component count, picked up for free during canonicalization.
+func mergeLabelsInto(g *graph.Graph, nCPU int, cpuRes, gpuRes *graph.CCResult, cross []graph.Edge, s *runScratch) ([]int32, int) {
 	s.labels = growInt32(s.labels, g.N)
 	labels := s.labels
 	copy(labels[:nCPU], cpuRes.Labels)
@@ -110,12 +199,25 @@ func mergeLabelsInto(g *graph.Graph, nCPU int, cpuRes, gpuRes *graph.CCResult, c
 	for _, e := range cross {
 		s.uf.Union(int(labels[e.U]), int(labels[e.V]))
 	}
-	for v := range labels {
-		labels[v] = int32(s.uf.Find(int(labels[v])))
-	}
+	// Resolve and canonicalize in one ascending pass (the first vertex
+	// to reach a union-find root is its component's minimum id) —
+	// identical labels to a find pass followed by
+	// graph.CanonicalizeMinLabelsCountInto.
 	s.minOf = growInt32(s.minOf, g.N)
-	graph.CanonicalizeMinLabelsInto(labels, s.minOf)
-	return labels
+	minOf := s.minOf
+	for i := range minOf {
+		minOf[i] = -1
+	}
+	components := 0
+	for v := range labels {
+		r := s.uf.Find(int(labels[v]))
+		if minOf[r] < 0 {
+			minOf[r] = int32(v)
+			components++
+		}
+		labels[v] = minOf[r]
+	}
+	return labels, components
 }
 
 // runInto executes Algorithm 1 drawing every buffer from s; res is
@@ -138,8 +240,13 @@ func (a *Algorithm) runInto(g *graph.Graph, t float64, res *Result, s *runScratc
 
 	// --- Phase I: partition -------------------------------------------
 	// Splitting the CSR structure scans every vertex and arc once on
-	// the CPU (memory-bound streaming pass).
-	if err := partitionInto(g, nCPU, s); err != nil {
+	// the CPU (memory-bound streaming pass). The implementation only
+	// computes the per-row split index (sorted adjacency: one boundary
+	// per row) and the cross edges; the kernels below consume the
+	// original adjacency through the index, so no sub-CSR is built.
+	// The simulated partition charge is unchanged — it models the
+	// device's full split pass, not this host shortcut.
+	if err := splitRowsInto(g, nCPU, s); err != nil {
 		return err
 	}
 	res.CrossEdges = int64(len(s.cross))
@@ -154,13 +261,13 @@ func (a *Algorithm) runInto(g *graph.Graph, t float64, res *Result, s *runScratc
 	res.Trace.Add(hetsim.PhasePartition, "cpu", partTime)
 
 	// --- Phase II: overlapped heterogeneous compute -------------------
-	graph.ParallelCPUInto(&s.gCPU, a.threads(), &s.cpuRes, &s.ccCPU)
-	cpuTime := a.cpuTime(&s.gCPU)
+	crossArcs := graph.ParallelCPUPrefixInto(g.RowPtr, g.Adj, s.split, nCPU, a.threads(), &s.cpuRes, &s.ccCPU)
+	cpuTime := ccCPUTimeSplit(a.Platform.CPU, a.threads(), s.split, nCPU, s.cpuArcs, crossArcs)
 	res.Trace.Add(hetsim.PhaseCompute, "cpu", cpuTime)
 
-	graph.ShiloachVishkinInto(&s.gGPU, &s.gpuRes, &s.ccGPU)
-	transferIn := a.Platform.Link.Transfer(int64(4 * s.gGPU.Arcs()))
-	gpuTime := transferIn + a.gpuTime(&s.gGPU, &s.gpuRes)
+	graph.ShiloachVishkinSuffixInto(g.RowPtr, g.Adj, s.split, nCPU, g.N, &s.gpuRes, &s.ccGPU)
+	transferIn := a.Platform.Link.Transfer(4 * s.gpuArcs)
+	gpuTime := transferIn + ccGPUTimeSplit(a.Platform.GPU, g, s.split, nCPU, s.gpuArcs, &s.gpuRes)
 	res.Trace.Add(hetsim.PhaseTransfer, "link", transferIn)
 	res.Trace.Add(hetsim.PhaseCompute, "gpu", gpuTime-transferIn)
 
@@ -168,7 +275,7 @@ func (a *Algorithm) runInto(g *graph.Graph, t float64, res *Result, s *runScratc
 
 	// --- Merge: cross edges unify the two labelings (on the GPU per
 	// the paper's line 9) -----------------------------------------------
-	labels := mergeLabelsInto(g, nCPU, &s.cpuRes, &s.gpuRes, s.cross, s)
+	labels, components := mergeLabelsInto(g, nCPU, &s.cpuRes, &s.gpuRes, s.cross, s)
 	mergeKernel := hetsim.Kernel{
 		Name:             "merge",
 		Ops:              12 * int64(len(s.cross)), // finds + union per edge
@@ -183,7 +290,7 @@ func (a *Algorithm) runInto(g *graph.Graph, t float64, res *Result, s *runScratc
 	res.Trace.Add(hetsim.PhaseTransfer, "link", transferOut)
 
 	res.Labels = labels
-	res.Components = graph.NumComponents(labels)
+	res.Components = components
 	res.Time = partTime + hetsim.Overlap(cpuTime, gpuTime) + mergeTime + transferOut
 	s.trace = res.Trace.Entries // keep the grown trace buffer
 	return nil

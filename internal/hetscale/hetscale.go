@@ -19,6 +19,7 @@ package hetscale
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -129,18 +130,32 @@ func NewProfile(a *sparse.CSR) (*Profile, error) {
 		outPrefix:    make([]int64, a.Rows+1),
 		nnzPrefix:    make([]int64, a.Rows+1),
 	}
+	// Row lengths come from the matrix's structural index (built once
+	// per dataset, shared with the load-vector kernel), and the sort
+	// runs through the generic slices.SortFunc — no reflection-based
+	// swapper, no two RowPtr loads per comparison.
+	rowLen := a.Index().RowLen
 	for i := range p.rows {
 		p.rows[i] = int32(i)
 	}
-	sort.Slice(p.rows, func(x, y int) bool {
-		dx, dy := a.RowNNZ(int(p.rows[x])), a.RowNNZ(int(p.rows[y]))
-		if dx != dy {
-			return dx > dy
+	slices.SortFunc(p.rows, func(x, y int32) int {
+		dx, dy := rowLen[x], rowLen[y]
+		switch {
+		case dx != dy:
+			if dx > dy {
+				return -1
+			}
+			return 1
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		default:
+			return 0
 		}
-		return p.rows[x] < p.rows[y]
 	})
 	for k, ri := range p.rows {
-		d := a.RowNNZ(int(ri))
+		d := int(rowLen[ri])
 		p.degrees[k] = int32(d)
 		if d > p.maxDegree {
 			p.maxDegree = d

@@ -143,8 +143,11 @@ func (p *Profile) TotalWork() int64 { return p.loadPrefix[len(p.loadPrefix)-1] }
 
 // SplitRow translates a split percentage r into the row index whose
 // prefix work is closest to r% of the total (Algorithm 2, line 3).
+// The profile's cached prefix sums make this an O(log n) binary
+// search; a threshold sweep (101 grid points × repeats) never
+// rescans the load vector.
 func (p *Profile) SplitRow(r float64) int {
-	return sparse.SplitRowByWork(p.load, r/100)
+	return sparse.SplitRowByWorkPrefix(p.loadPrefix, r/100)
 }
 
 // cvBucket is the row-group granularity for the divergence statistic:

@@ -9,6 +9,7 @@ package sparse
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/mmio"
 )
@@ -23,6 +24,43 @@ type CSR struct {
 	RowPtr     []int64
 	ColIdx     []int32
 	Vals       []float64
+
+	// idx caches the lazily built structural index (see Index). It is
+	// excluded from Equal/Clone/Validate: it carries no information
+	// beyond what RowPtr already encodes, just a faster layout.
+	idx atomic.Pointer[Index]
+}
+
+// Index is an immutable precomputed structural index of a CSR matrix,
+// built once per matrix and shared by every kernel that iterates its
+// rows. RowLen packs the per-row nonzero counts into int32s so that
+// gather-heavy passes (the load-vector kernel reads one row length per
+// stored entry of A) touch 4 bytes per lookup instead of two 8-byte
+// RowPtr loads. Work prefix sums over a concrete A×B pairing live with
+// that pairing's profile (hetspmm/hetscale), which feeds them to
+// SplitRowByWorkPrefix; the per-matrix index holds only pair-
+// independent structure.
+type Index struct {
+	// RowLen[i] is the number of stored entries in row i.
+	RowLen []int32
+}
+
+// Index returns the matrix's structural index, building it on first
+// use. The index is immutable and safe for concurrent use; concurrent
+// first calls may build duplicate candidates, but all callers observe
+// the same published copy. Callers that mutate the matrix's structure
+// in place (none of the kernels here do — CSR values are treated as
+// immutable once built) must not use Index.
+func (m *CSR) Index() *Index {
+	if idx := m.idx.Load(); idx != nil {
+		return idx
+	}
+	rowLen := make([]int32, m.Rows)
+	for i := range rowLen {
+		rowLen[i] = int32(m.RowPtr[i+1] - m.RowPtr[i])
+	}
+	m.idx.CompareAndSwap(nil, &Index{RowLen: rowLen})
+	return m.idx.Load()
 }
 
 // NNZ returns the number of stored entries.

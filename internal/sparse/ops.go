@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"fmt"
+	"math"
 	"slices"
 	"sync"
 )
@@ -17,6 +18,15 @@ func SpMV(a *CSR, x []float64) ([]float64, error) {
 // slice. Evaluation loops that multiply repeatedly against the same
 // matrix pass the previous result back in and run allocation-free;
 // SpMVInto(nil, a, x) is equivalent to SpMV(a, x).
+//
+// The pattern/valued distinction is resolved once per call, not per
+// row, and each specialized inner loop folds row entries into four
+// independent accumulators for instruction-level parallelism. The
+// summation order is part of the kernel contract (entries by position
+// modulo 4, lanes combined as (s0+s1)+(s2+s3), tail left to right —
+// see SpMVRef), so results are deterministic and bit-identical to the
+// reference on any input; rows shorter than four entries reduce to the
+// plain left-to-right sum.
 func SpMVInto(dst []float64, a *CSR, x []float64) ([]float64, error) {
 	if len(x) != a.Cols {
 		return nil, fmt.Errorf("sparse: SpMV vector length %d, want %d", len(x), a.Cols)
@@ -25,21 +35,57 @@ func SpMVInto(dst []float64, a *CSR, x []float64) ([]float64, error) {
 		dst = make([]float64, a.Rows)
 	}
 	y := dst[:a.Rows]
-	for i := 0; i < a.Rows; i++ {
-		var s float64
-		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
-		if a.Vals != nil {
-			for k := lo; k < hi; k++ {
-				s += a.Vals[k] * x[a.ColIdx[k]]
-			}
-		} else {
-			for k := lo; k < hi; k++ {
-				s += x[a.ColIdx[k]]
-			}
-		}
-		y[i] = s
+	if a.Vals != nil {
+		spmvValued(y, a.RowPtr, a.ColIdx, a.Vals, x)
+	} else {
+		spmvPattern(y, a.RowPtr, a.ColIdx, x)
 	}
 	return y, nil
+}
+
+// spmvValued is the valued-matrix inner loop of SpMVInto.
+func spmvValued(y []float64, rowPtr []int64, colIdx []int32, vals, x []float64) {
+	lo := rowPtr[0]
+	for i := range y {
+		hi := rowPtr[i+1]
+		var s0, s1, s2, s3 float64
+		k := lo
+		for ; k+4 <= hi; k += 4 {
+			s0 += vals[k] * x[colIdx[k]]
+			s1 += vals[k+1] * x[colIdx[k+1]]
+			s2 += vals[k+2] * x[colIdx[k+2]]
+			s3 += vals[k+3] * x[colIdx[k+3]]
+		}
+		s := (s0 + s1) + (s2 + s3)
+		for ; k < hi; k++ {
+			s += vals[k] * x[colIdx[k]]
+		}
+		y[i] = s
+		lo = hi
+	}
+}
+
+// spmvPattern is the pattern-matrix inner loop of SpMVInto (implicit
+// 1-valued entries: a pure gather-sum over x).
+func spmvPattern(y []float64, rowPtr []int64, colIdx []int32, x []float64) {
+	lo := rowPtr[0]
+	for i := range y {
+		hi := rowPtr[i+1]
+		var s0, s1, s2, s3 float64
+		k := lo
+		for ; k+4 <= hi; k += 4 {
+			s0 += x[colIdx[k]]
+			s1 += x[colIdx[k+1]]
+			s2 += x[colIdx[k+2]]
+			s3 += x[colIdx[k+3]]
+		}
+		s := (s0 + s1) + (s2 + s3)
+		for ; k < hi; k++ {
+			s += x[colIdx[k]]
+		}
+		y[i] = s
+		lo = hi
+	}
 }
 
 // LoadVector computes the per-row work volume of the product A×B: the
@@ -56,9 +102,12 @@ func LoadVector(a, b *CSR) ([]int64, error) {
 
 // LoadVectorInto computes the load vector into dst, growing it only
 // when its capacity is short of A.Rows, and returns the (possibly
-// reallocated) result. Row lengths of B are read straight from its
-// RowPtr, so the pass allocates nothing beyond dst itself;
-// LoadVectorInto(nil, a, b) is equivalent to LoadVector(a, b).
+// reallocated) result. Row lengths of B are read from B's structural
+// index (one int32 per stored entry of A instead of two int64 RowPtr
+// loads), built lazily on B's first profile and cached for every
+// later pass over the same matrix. Beyond that one-time index and dst
+// itself the pass allocates nothing; LoadVectorInto(nil, a, b) is
+// equivalent to LoadVector(a, b).
 func LoadVectorInto(dst []int64, a, b *CSR) ([]int64, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("sparse: LoadVector dims %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
@@ -67,13 +116,25 @@ func LoadVectorInto(dst []int64, a, b *CSR) ([]int64, error) {
 		dst = make([]int64, a.Rows)
 	}
 	out := dst[:a.Rows]
-	for i := 0; i < a.Rows; i++ {
-		var s int64
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			j := a.ColIdx[k]
-			s += b.RowPtr[j+1] - b.RowPtr[j]
+	rowLen := b.Index().RowLen
+	colIdx := a.ColIdx
+	lo := a.RowPtr[0]
+	for i := range out {
+		hi := a.RowPtr[i+1]
+		var s0, s1, s2, s3 int64
+		k := lo
+		for ; k+4 <= hi; k += 4 {
+			s0 += int64(rowLen[colIdx[k]])
+			s1 += int64(rowLen[colIdx[k+1]])
+			s2 += int64(rowLen[colIdx[k+2]])
+			s3 += int64(rowLen[colIdx[k+3]])
+		}
+		s := s0 + s1 + s2 + s3
+		for ; k < hi; k++ {
+			s += int64(rowLen[colIdx[k]])
 		}
 		out[i] = s
+		lo = hi
 	}
 	return out, nil
 }
@@ -92,11 +153,17 @@ func TotalWork(a, b *CSR) (int64, error) {
 	return s, nil
 }
 
-// SplitRowByWork returns the smallest row index i such that the prefix
-// work sum L[0..i) is at least frac (in [0,1]) of the total work. This
-// is how Algorithm 2 translates a split percentage r into the split row
+// SplitRowByWork returns the row index whose prefix work sum is
+// closest to frac (in [0,1]) of the total work. This is how
+// Algorithm 2 translates a split percentage r into the split row
 // ("find out the split row index i where V_L[i] is closest to L_CPU").
 // The returned index is in [0, len(load)].
+//
+// The target is frac·total rounded to the nearest unit of work
+// (math.Round): truncating it instead biases the split row low by one
+// whenever frac·total lands just under an exact row boundary. Both
+// this linear scan and the O(log n) SplitRowByWorkPrefix implement the
+// rounded contract (pinned against SplitRowByWorkRef).
 func SplitRowByWork(load []int64, frac float64) int {
 	if frac <= 0 {
 		return 0
@@ -108,7 +175,7 @@ func SplitRowByWork(load []int64, frac float64) int {
 	for _, v := range load {
 		total += v
 	}
-	target := int64(frac * float64(total))
+	target := roundedTarget(frac, total)
 	var prefix int64
 	for i, v := range load {
 		// Choose the boundary whose prefix is closest to the target.
@@ -123,6 +190,50 @@ func SplitRowByWork(load []int64, frac float64) int {
 	return len(load)
 }
 
+// roundedTarget converts a work fraction into an absolute work target,
+// rounding to the nearest unit. Shared by every split-row variant so
+// their contracts cannot drift.
+func roundedTarget(frac float64, total int64) int64 {
+	return int64(math.Round(frac * float64(total)))
+}
+
+// SplitRowByWorkPrefix is SplitRowByWork over a precomputed prefix-sum
+// array: prefix has length len(load)+1 with prefix[0] = 0 and
+// prefix[i] = load[0]+…+load[i-1]. It returns the same index as
+// SplitRowByWork(load, frac) in O(log n) instead of O(n) — the profile
+// builders cache the prefix once per dataset, and threshold sweeps
+// (101 grid points × repeats) locate each split with a binary search
+// instead of rescanning the load vector.
+func SplitRowByWorkPrefix(prefix []int64, frac float64) int {
+	n := len(prefix) - 1
+	if n <= 0 {
+		return 0
+	}
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return n
+	}
+	target := roundedTarget(frac, prefix[n])
+	// Smallest j in [1, n] with prefix[j] >= target; j exists because
+	// target <= prefix[n]. Equivalent to the scan's first row i = j-1
+	// whose inclusive prefix reaches the target.
+	lo, hi := 1, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if prefix[mid] >= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if target-prefix[lo-1] <= prefix[lo]-target {
+		return lo - 1
+	}
+	return lo
+}
+
 // spmmRowInto computes row i of C = A×B into the dense accumulator,
 // returning the indices touched and the number of multiply-adds
 // performed. acc and marker must have length B.Cols; marker entries for
@@ -133,6 +244,17 @@ type spmmAccumulator struct {
 	marker     []int32
 	generation int32
 	touched    []int32
+
+	// Blocked symbolic-pass scratch (rowNNZBlocked): gathered candidate
+	// columns, their counting-sort-by-block permutation, per-block
+	// bucket offsets, and the cache-resident per-strip marker with its
+	// own generation counter. All lazily grown; only wide-matrix
+	// symbolic passes pay for them.
+	cand       []int32
+	candSorted []int32
+	blockOff   []int32
+	strip      []int32
+	stripGen   int32
 }
 
 func newSpmmAccumulator(cols int) *spmmAccumulator {
@@ -160,7 +282,30 @@ func getAccumulator(cols int) *spmmAccumulator {
 	return v
 }
 
-func putAccumulator(s *spmmAccumulator) { accPool.Put(s) }
+// accRetainFactor and accRetainFloor bound what putAccumulator keeps: a
+// scratch whose capacity exceeds accRetainFactor × the last requested
+// column count is dropped instead of pooled. Without the bound, one
+// multiplication against a wide matrix (webbase-class, ~10⁶ columns)
+// pins multi-megabyte accumulators in the pool for the lifetime of the
+// process even though every later caller works on small samples. The
+// floor exempts small scratches, whose retention costs nothing and
+// whose reallocation churn would dominate.
+const (
+	accRetainFactor = 4
+	accRetainFloor  = 1 << 13
+)
+
+// putAccumulator returns the scratch to the pool, or drops it when its
+// backing arrays are oversized for the work it was last used for
+// (capacity > accRetainFactor × requested columns). Reports whether the
+// scratch was pooled, for the retention tests.
+func putAccumulator(s *spmmAccumulator) bool {
+	if cap(s.marker) > accRetainFloor && cap(s.marker) > accRetainFactor*len(s.marker) {
+		return false
+	}
+	accPool.Put(s)
+	return true
+}
 
 // ensure resizes the scratch for cols output columns, reusing backing
 // arrays when capacity allows. Newly exposed marker entries are zeroed
@@ -200,19 +345,167 @@ func (s *spmmAccumulator) nextGeneration() {
 // multiply-add count.
 func (s *spmmAccumulator) rowNNZ(a, b *CSR, i int) (nnz, flops int64) {
 	s.nextGeneration()
+	// Hoist the marker slice and generation into locals: the inner
+	// loop stores through marker, and the compiler cannot prove those
+	// stores leave the struct fields unchanged, so field reads inside
+	// the loop would reload both every iteration.
+	marker, gen := s.marker, s.generation
+	rp, ci := b.RowPtr, b.ColIdx
 	aCols, _ := a.Row(i)
 	for _, j := range aCols {
-		lo, hi := b.RowPtr[j], b.RowPtr[j+1]
+		lo, hi := rp[j], rp[j+1]
 		flops += hi - lo
 		for k := lo; k < hi; k++ {
-			c := b.ColIdx[k]
-			if s.marker[c] != s.generation {
-				s.marker[c] = s.generation
+			c := ci[k]
+			if marker[c] != gen {
+				marker[c] = gen
 				nnz++
 			}
 		}
 	}
 	return nnz, flops
+}
+
+// Adaptive symbolic-pass thresholds. The full-width marker walk
+// (rowNNZ) takes one random 4-byte store per candidate entry; on wide
+// matrices the marker is megabytes and almost every store is a cache
+// miss. rowNNZAdaptive therefore picks, per row:
+//
+//   - the direct marker whenever it is cache-resident (B narrower
+//     than symResidentCols — measured crossover: at 512K columns the
+//     2MB marker still ties the alternatives, above it the misses
+//     dominate), or when the row is dense enough that the marker walk
+//     is effectively a sequential pass;
+//   - gather + insertion sort for rows with at most symSortMax
+//     candidates against a genuinely wide B (a handful of entries:
+//     sorting in registers beats touching a cold multi-megabyte
+//     marker at all);
+//   - otherwise the strip-mined counting pass (rowNNZBlocked), which
+//     buckets candidates by 2^symBlockBits-column strips and marks
+//     within one cache-resident strip at a time.
+const (
+	symSortMax      = 48
+	symResidentCols = 1 << 19
+	symBlockBits    = 15
+	symBlockMask    = 1<<symBlockBits - 1
+)
+
+// rowNNZAdaptive computes the same (nnz, flops) as rowNNZ, choosing
+// the cheapest strategy for the row's candidate count and the marker's
+// working-set size. bRowLen is b.Index().RowLen; the candidate count
+// (= the row's flops) is known before any candidate is touched, which
+// is what makes per-row strategy selection free.
+func (s *spmmAccumulator) rowNNZAdaptive(a, b *CSR, bRowLen []int32, i int) (nnz, flops int64) {
+	// Resident marker: no strategy choice to make, so skip the
+	// candidate-count pre-pass — rowNNZ counts flops as it walks.
+	if b.Cols <= symResidentCols {
+		return s.rowNNZ(a, b, i)
+	}
+	aCols, _ := a.Row(i)
+	for _, j := range aCols {
+		flops += int64(bRowLen[j])
+	}
+	switch {
+	case flops >= int64(b.Cols)/4:
+		nnz, _ = s.rowNNZ(a, b, i)
+		return nnz, flops
+	case flops <= symSortMax:
+		return s.rowNNZSorted(aCols, b), flops
+	default:
+		return s.rowNNZBlocked(aCols, b, flops), flops
+	}
+}
+
+// rowNNZSorted counts distinct candidate columns by gathering them
+// into a tiny buffer, insertion-sorting it, and counting strict
+// ascents — no marker traffic. Only called for rows with at most
+// symSortMax candidates.
+func (s *spmmAccumulator) rowNNZSorted(aCols []int32, b *CSR) int64 {
+	var buf [symSortMax]int32
+	n := 0
+	for _, j := range aCols {
+		lo, hi := b.RowPtr[j], b.RowPtr[j+1]
+		n += copy(buf[n:], b.ColIdx[lo:hi])
+	}
+	cand := buf[:n]
+	insertionSortInt32(cand)
+	var nnz int64
+	prev := int32(-1)
+	for _, c := range cand {
+		if c != prev {
+			nnz++
+			prev = c
+		}
+	}
+	return nnz
+}
+
+// rowNNZBlocked strip-mines the symbolic pass over column blocks of
+// width 2^symBlockBits: candidates are gathered once, counting-sorted
+// by block, and each block is then de-duplicated against a marker that
+// spans only that block — a working set of 4·2^symBlockBits bytes
+// regardless of B's width. flops is the candidate count (already
+// computed by the caller).
+func (s *spmmAccumulator) rowNNZBlocked(aCols []int32, b *CSR, flops int64) int64 {
+	if cap(s.cand) < int(flops) {
+		s.cand = make([]int32, 0, int(flops))
+		s.candSorted = make([]int32, int(flops))
+	}
+	cand := s.cand[:0]
+	for _, j := range aCols {
+		lo, hi := b.RowPtr[j], b.RowPtr[j+1]
+		cand = append(cand, b.ColIdx[lo:hi]...)
+	}
+	s.cand = cand
+
+	nb := (b.Cols-1)>>symBlockBits + 1
+	if cap(s.blockOff) < nb+1 {
+		s.blockOff = make([]int32, nb+1)
+	}
+	off := s.blockOff[:nb+1]
+	clear(off)
+	for _, c := range cand {
+		off[c>>symBlockBits+1]++
+	}
+	for k := 0; k < nb; k++ {
+		off[k+1] += off[k]
+	}
+	sorted := s.candSorted[:len(cand)]
+	// off is consumed as per-block write cursors during the scatter;
+	// afterwards off[k] is the END of block k's span (= start of
+	// block k+1), so the per-block loop below walks spans
+	// [start, off[k]) with start trailing behind.
+	for _, c := range cand {
+		k := c >> symBlockBits
+		sorted[off[k]] = c
+		off[k]++
+	}
+	if len(s.strip) == 0 {
+		s.strip = make([]int32, 1<<symBlockBits)
+	}
+	var nnz int64
+	start := int32(0)
+	for k := 0; k < nb; k++ {
+		end := off[k]
+		if end == start {
+			continue
+		}
+		s.stripGen++
+		if s.stripGen == 0 { // wrapped; reset strip marks
+			clear(s.strip)
+			s.stripGen = 1
+		}
+		gen := s.stripGen
+		for _, c := range sorted[start:end] {
+			m := c & symBlockMask
+			if s.strip[m] != gen {
+				s.strip[m] = gen
+				nnz++
+			}
+		}
+		start = end
+	}
+	return nnz
 }
 
 // row computes one output row; results are appended to the provided
@@ -281,6 +574,10 @@ func insertionSortInt32(a []int32) {
 // LoadVectorInto. Profile builders, which need output sizes but never
 // the product itself, use this instead of a full SpMM — it skips the
 // accumulation, the per-row sort, and the output arrays entirely.
+// Rows are dispatched adaptively between a register-resident sorted
+// count, the dense marker, and a strip-mined blocked pass (see
+// rowNNZAdaptive); the counts are exact and pinned bit-identical to
+// RowOutputCountsRef by the golden suite.
 func RowOutputCounts(dst []int64, a, b *CSR) ([]int64, int64, error) {
 	if a.Cols != b.Rows {
 		return nil, 0, fmt.Errorf("sparse: RowOutputCounts dims %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
@@ -291,9 +588,10 @@ func RowOutputCounts(dst []int64, a, b *CSR) ([]int64, int64, error) {
 	out := dst[:a.Rows]
 	acc := getAccumulator(b.Cols)
 	defer putAccumulator(acc)
+	bRowLen := b.Index().RowLen
 	var flops int64
 	for i := 0; i < a.Rows; i++ {
-		nnz, f := acc.rowNNZ(a, b, i)
+		nnz, f := acc.rowNNZAdaptive(a, b, bRowLen, i)
 		out[i] = nnz
 		flops += f
 	}

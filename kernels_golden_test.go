@@ -1,0 +1,230 @@
+package repro
+
+// Golden equivalence suite for the tuned kernels. Every optimized
+// kernel in internal/sparse and internal/graph has a frozen reference
+// implementation (reference.go in each package) carrying the pre-tuning
+// body; these tests pin the tuned kernels bit-identical to the
+// references on one Table II instance per structural class:
+//
+//	cant          — FEM (banded, near-regular rows)
+//	webbase-1M    — power-law (skewed degrees, wide columns)
+//	germany_osm   — road (huge diameter, tiny degrees)
+//	delaunay_n22  — delaunay mesh (near-regular, planar-ish)
+//
+// "Bit-identical" is literal: float64 outputs are compared by bit
+// pattern (summation order is part of the contract — the simulator's
+// cost models and the Identify search results depend on it), and the
+// connected-components results are compared as whole structs including
+// the work counters that feed the device models.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// goldenDatasets names one dataset per structural class.
+var goldenDatasets = []string{"cant", "webbase-1M", "germany_osm", "delaunay_n22"}
+
+func goldenMatrix(t *testing.T, name string) *sparse.CSR {
+	t.Helper()
+	d, err := datasets.ByName(name)
+	if err != nil {
+		t.Fatalf("ByName(%q): %v", name, err)
+	}
+	m, err := d.Matrix()
+	if err != nil {
+		t.Fatalf("Matrix(%q): %v", name, err)
+	}
+	return m
+}
+
+func goldenGraph(t *testing.T, name string) *graph.Graph {
+	t.Helper()
+	d, err := datasets.ByName(name)
+	if err != nil {
+		t.Fatalf("ByName(%q): %v", name, err)
+	}
+	g, err := d.Graph()
+	if err != nil {
+		t.Fatalf("Graph(%q): %v", name, err)
+	}
+	return g
+}
+
+// equalBits reports the first index where two float vectors differ in
+// bit pattern, or -1.
+func equalBits(a, b []float64) int {
+	if len(a) != len(b) {
+		return 0
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestGoldenSpMV pins the specialized SpMV (valued and pattern
+// dispatch, unrolled multi-accumulator) to the reference scalar loop,
+// bit for bit, on every dataset class.
+func TestGoldenSpMV(t *testing.T) {
+	for _, name := range goldenDatasets {
+		t.Run(name, func(t *testing.T) {
+			m := goldenMatrix(t, name)
+			r := xrand.New(0x5bd1e995)
+			x := make([]float64, m.Cols)
+			for j := range x {
+				x[j] = r.Float64()*2 - 1
+			}
+			got, err := sparse.SpMV(m, x)
+			if err != nil {
+				t.Fatalf("SpMV: %v", err)
+			}
+			want, err := sparse.SpMVRef(m, x)
+			if err != nil {
+				t.Fatalf("SpMVRef: %v", err)
+			}
+			if i := equalBits(got, want); i >= 0 {
+				t.Fatalf("valued SpMV diverges at row %d: got %x want %x",
+					i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+
+			// Pattern form: same structure, implicit unit values.
+			pat := m.Clone()
+			pat.Vals = nil
+			got, err = sparse.SpMV(pat, x)
+			if err != nil {
+				t.Fatalf("pattern SpMV: %v", err)
+			}
+			want, err = sparse.SpMVRef(pat, x)
+			if err != nil {
+				t.Fatalf("pattern SpMVRef: %v", err)
+			}
+			if i := equalBits(got, want); i >= 0 {
+				t.Fatalf("pattern SpMV diverges at row %d: got %x want %x",
+					i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		})
+	}
+}
+
+// TestGoldenLoadVector pins the index-accelerated load-vector and
+// symbolic row-count kernels to their reference scans on A×A.
+func TestGoldenLoadVector(t *testing.T) {
+	for _, name := range goldenDatasets {
+		t.Run(name, func(t *testing.T) {
+			m := goldenMatrix(t, name)
+			got, err := sparse.LoadVector(m, m)
+			if err != nil {
+				t.Fatalf("LoadVector: %v", err)
+			}
+			want, err := sparse.LoadVectorRef(m, m)
+			if err != nil {
+				t.Fatalf("LoadVectorRef: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("load vector differs from reference")
+			}
+
+			counts, total, err := sparse.RowOutputCounts(nil, m, m)
+			if err != nil {
+				t.Fatalf("RowOutputCounts: %v", err)
+			}
+			wantCounts, wantTotal, err := sparse.RowOutputCountsRef(m, m)
+			if err != nil {
+				t.Fatalf("RowOutputCountsRef: %v", err)
+			}
+			if total != wantTotal {
+				t.Fatalf("output nnz total = %d, reference %d", total, wantTotal)
+			}
+			if !reflect.DeepEqual(counts, wantCounts) {
+				t.Fatalf("row output counts differ from reference")
+			}
+		})
+	}
+}
+
+// TestGoldenSplitRowByWork pins the linear-scan split, the reference
+// split and the prefix-sum binary search to one another over the full
+// threshold grid the Identify stage sweeps.
+func TestGoldenSplitRowByWork(t *testing.T) {
+	for _, name := range goldenDatasets {
+		t.Run(name, func(t *testing.T) {
+			m := goldenMatrix(t, name)
+			load, err := sparse.LoadVector(m, m)
+			if err != nil {
+				t.Fatalf("LoadVector: %v", err)
+			}
+			prefix := make([]int64, len(load)+1)
+			for i, v := range load {
+				prefix[i+1] = prefix[i] + v
+			}
+			for tt := 0; tt <= 100; tt++ {
+				frac := float64(tt) / 100
+				want := sparse.SplitRowByWorkRef(load, frac)
+				if got := sparse.SplitRowByWork(load, frac); got != want {
+					t.Fatalf("SplitRowByWork(%v) = %d, reference %d", frac, got, want)
+				}
+				if got := sparse.SplitRowByWorkPrefix(prefix, frac); got != want {
+					t.Fatalf("SplitRowByWorkPrefix(%v) = %d, reference %d", frac, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenConnectedComponents pins the tuned CC kernels (DFS,
+// partitioned parallel DFS, Shiloach–Vishkin) to the frozen references:
+// identical labels, component counts AND work counters. The counters
+// feed the hetsim cost models, so any drift would silently change
+// every simulated time and search result.
+func TestGoldenConnectedComponents(t *testing.T) {
+	for _, name := range goldenDatasets {
+		t.Run(name, func(t *testing.T) {
+			g := goldenGraph(t, name)
+
+			var got, want graph.CCResult
+			graph.DFSInto(g, &got, new(graph.CCScratch))
+			graph.DFSRef(g, &want, new(graph.CCScratch))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("DFSInto diverges from DFSRef:\n got %+v\nwant %+v",
+					summarize(&got), summarize(&want))
+			}
+
+			for _, workers := range []int{1, 2, 4, 7} {
+				graph.ParallelCPUInto(g, workers, &got, new(graph.CCScratch))
+				graph.ParallelCPURef(g, workers, &want, new(graph.CCScratch))
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("ParallelCPUInto(workers=%d) diverges from reference:\n got %+v\nwant %+v",
+						workers, summarize(&got), summarize(&want))
+				}
+			}
+
+			graph.ShiloachVishkinInto(g, &got, new(graph.CCScratch))
+			graph.ShiloachVishkinRef(g, &want, new(graph.CCScratch))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("ShiloachVishkinInto diverges from reference:\n got %+v\nwant %+v",
+					summarize(&got), summarize(&want))
+			}
+		})
+	}
+}
+
+// summarize renders a CCResult without the label vector for failure
+// messages.
+func summarize(r *graph.CCResult) map[string]any {
+	return map[string]any{
+		"components": r.Components,
+		"vertices":   r.VerticesVisited,
+		"edges":      r.EdgesVisited,
+		"rounds":     r.Rounds,
+		"labels_len": len(r.Labels),
+	}
+}
