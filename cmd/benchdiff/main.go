@@ -68,6 +68,27 @@
 //   - per kernel row, keyed by (kernel, dataset): the speedup must not
 //     regress below baseline by more than -speedup-tolerance, and
 //     every baseline row must still be present.
+//
+// -mode partition switches to the BENCH_partition.json contract
+// written by BenchmarkPartition (N-device simplex search). The
+// recording-environment refusals are stricter than search mode — any
+// report recorded at GOMAXPROCS < 4 or num_cpu < 4 is refused, since
+// both the parity overhead ratio and the simplex wall-clock assume a
+// genuinely parallel evaluation engine. Per-report checks:
+//
+//   - the 2-device parity case must be identical: driving the scalar
+//     searcher through the partition adapter is never allowed to
+//     change the result. Its wall-clock overhead (vector/scalar) must
+//     stay under -partition-max-overhead and must not grow beyond
+//     baseline by more than -speedup-tolerance.
+//   - per simplex row, keyed by (devices, workload, dataset): the
+//     coordinate descent must stay within the -partition-eval-budget
+//     evaluation ceiling (the whole point of descending instead of
+//     sweeping), must use fewer evaluations than the exhaustive sweep
+//     it was compared against, and where a sweep was recorded the
+//     quality gap must stay within -partition-max-gap percent of the
+//     simplex optimum (the paper-level 5% acceptance bar).
+//   - every baseline simplex row must still be present.
 package main
 
 import (
@@ -380,6 +401,154 @@ func diffKernels(baseline, current kernelReport, cfg kernelGateConfig) []string 
 	return problems
 }
 
+// partitionParityRow and partitionSimplexRow mirror the
+// BENCH_partition.json schema written by BenchmarkPartition
+// (bench_partition_test.go). Only the fields the gate reads are
+// declared.
+type partitionParityRow struct {
+	Searcher  string  `json:"searcher"`
+	Workload  string  `json:"workload"`
+	Dataset   string  `json:"dataset"`
+	Evals     int     `json:"evals"`
+	ScalarMS  float64 `json:"scalar_ms"`
+	VectorMS  float64 `json:"vector_ms"`
+	Overhead  float64 `json:"overhead"`
+	Identical bool    `json:"identical"`
+}
+
+type partitionSimplexRow struct {
+	Devices          int     `json:"devices"`
+	Workload         string  `json:"workload"`
+	Dataset          string  `json:"dataset"`
+	Searcher         string  `json:"searcher"`
+	WallMS           float64 `json:"wall_ms"`
+	Evals            int     `json:"evals"`
+	ExhaustiveEvals  int     `json:"exhaustive_evals"`
+	ExhaustiveGapPct float64 `json:"exhaustive_gap_pct"`
+}
+
+func (r partitionSimplexRow) key() string {
+	return fmt.Sprintf("%d/%s/%s", r.Devices, r.Workload, r.Dataset)
+}
+
+type partitionReport struct {
+	GOMAXPROCS  int                   `json:"gomaxprocs"`
+	NumCPU      int                   `json:"num_cpu"`
+	Parallelism int                   `json:"parallelism"`
+	Parity      partitionParityRow    `json:"parity"`
+	Simplex     []partitionSimplexRow `json:"simplex"`
+}
+
+type partitionGateConfig struct {
+	// OverheadTolerance is the fractional growth of the parity
+	// overhead ratio allowed relative to baseline (shared with
+	// -speedup-tolerance).
+	OverheadTolerance float64
+	// MaxOverhead is the absolute cap on the parity vector/scalar
+	// wall-clock ratio (0 disables).
+	MaxOverhead float64
+	// EvalBudget is the evaluation ceiling per simplex row (0
+	// disables). Coordinate descent exists to avoid the exhaustive
+	// sweep; a descent that approaches sweep-sized eval counts has
+	// lost its reason to exist.
+	EvalBudget int
+	// MaxGapPct is the largest allowed quality gap, in percent above
+	// the exhaustive simplex optimum, for rows that recorded a sweep
+	// (0 disables).
+	MaxGapPct float64
+}
+
+// diffPartition returns every gate violation between a baseline and
+// current BENCH_partition.json, in a stable order. Empty means the
+// gate passes.
+func diffPartition(baseline, current partitionReport, cfg partitionGateConfig) []string {
+	var problems []string
+	fail := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	// Stricter refusals than search mode: a partition recording is
+	// only meaningful when the per-axis evaluations genuinely ran in
+	// parallel, so anything under 4 schedulable cores is refused, not
+	// just single-core recordings.
+	for _, r := range []struct {
+		name string
+		rep  partitionReport
+	}{{"baseline", baseline}, {"current report", current}} {
+		switch {
+		case r.rep.GOMAXPROCS <= 1:
+			fail("%s was recorded at GOMAXPROCS=%d: single-core recordings cannot measure the parallel simplex search; re-record with GOMAXPROCS>=4", r.name, r.rep.GOMAXPROCS)
+		case r.rep.GOMAXPROCS < 4:
+			fail("%s was recorded at GOMAXPROCS=%d: partition wall-clock assumes GOMAXPROCS>=4", r.name, r.rep.GOMAXPROCS)
+		}
+		if r.rep.NumCPU < 4 {
+			fail("%s was recorded on a host with %d CPU(s) (num_cpu): parallel arms time-slice instead of running concurrently on fewer than 4 cores; re-record on a host with >=4 CPUs", r.name, r.rep.NumCPU)
+		}
+	}
+	if baseline.GOMAXPROCS != current.GOMAXPROCS {
+		fail("gomaxprocs mismatch: baseline %d vs current %d — wall-clock ratios are not comparable across different core counts", baseline.GOMAXPROCS, current.GOMAXPROCS)
+	}
+	if len(problems) > 0 {
+		return problems
+	}
+
+	if !current.Parity.Identical {
+		fail("parity %s/%s/%s: the 2-device vector search differs from the scalar search (identical=false) — the partition adapter must never change a result",
+			current.Parity.Searcher, current.Parity.Workload, current.Parity.Dataset)
+	}
+	if cfg.MaxOverhead > 0 && current.Parity.Overhead > cfg.MaxOverhead {
+		fail("parity overhead %.2fx exceeds the %.2fx cap: the partition adapter is taxing the scalar search",
+			current.Parity.Overhead, cfg.MaxOverhead)
+	}
+	if limit := baseline.Parity.Overhead * (1 + cfg.OverheadTolerance); baseline.Parity.Overhead > 0 && current.Parity.Overhead > limit {
+		fail("parity overhead grew to %.2fx from baseline %.2fx (limit %.2fx at tolerance %.0f%%)",
+			current.Parity.Overhead, baseline.Parity.Overhead, limit, cfg.OverheadTolerance*100)
+	}
+
+	baseByKey := map[string]partitionSimplexRow{}
+	for _, r := range baseline.Simplex {
+		baseByKey[r.key()] = r
+	}
+	curByKey := map[string]partitionSimplexRow{}
+	for _, cur := range current.Simplex {
+		curByKey[cur.key()] = cur
+		if cfg.EvalBudget > 0 && cur.Evals > cfg.EvalBudget {
+			fail("%s: coordinate descent spent %d evaluations, over the %d budget — it is drifting toward an exhaustive sweep",
+				cur.key(), cur.Evals, cfg.EvalBudget)
+		}
+		if cur.ExhaustiveEvals > 0 {
+			if cur.Evals >= cur.ExhaustiveEvals {
+				fail("%s: descent used %d evaluations, the exhaustive sweep only %d — no saving", cur.key(), cur.Evals, cur.ExhaustiveEvals)
+			}
+			if cfg.MaxGapPct > 0 && cur.ExhaustiveGapPct > cfg.MaxGapPct {
+				fail("%s: identified partition runs %.1f%% above the exhaustive simplex optimum, over the %.0f%% acceptance bar",
+					cur.key(), cur.ExhaustiveGapPct, cfg.MaxGapPct)
+			}
+		}
+	}
+	for _, base := range baseline.Simplex {
+		if _, ok := curByKey[base.key()]; !ok {
+			fail("%s: present in baseline but missing from current report", base.key())
+		}
+	}
+	return problems
+}
+
+func loadPartition(path string) (partitionReport, error) {
+	var r partitionReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Parity.Workload == "" || len(r.Simplex) == 0 {
+		return r, fmt.Errorf("%s: not a partition bench report (parity/simplex missing)", path)
+	}
+	return r, nil
+}
+
 func loadKernels(path string) (kernelReport, error) {
 	var r kernelReport
 	data, err := os.ReadFile(path)
@@ -426,7 +595,7 @@ func load(path string) (benchReport, error) {
 }
 
 func main() {
-	mode := flag.String("mode", "search", "report schema to gate: search (BENCH_search.json), batch (BENCH_batch.json) or kernels (BENCH_kernels.json)")
+	mode := flag.String("mode", "search", "report schema to gate: search (BENCH_search.json), batch (BENCH_batch.json), kernels (BENCH_kernels.json) or partition (BENCH_partition.json)")
 	baselinePath := flag.String("baseline", "", "baseline report (required)")
 	currentPath := flag.String("current", "", "freshly recorded report (required)")
 	cfg := gateConfig{}
@@ -439,9 +608,14 @@ func main() {
 	flag.Float64Var(&bcfg.TTFRFrac, "ttfr-frac", 0.9, "batch: max time-to-first-result as a fraction of time-to-last (0 disables)")
 	kcfg := kernelGateConfig{}
 	flag.Float64Var(&kcfg.MinGeomean, "kernels-min-geomean", 1.3, "kernels: geometric-mean tuned/reference speedup the current report must reach (0 disables)")
+	pcfg := partitionGateConfig{}
+	flag.Float64Var(&pcfg.MaxOverhead, "partition-max-overhead", 1.5, "partition: absolute cap on the 2-device vector/scalar wall-clock ratio (0 disables)")
+	flag.IntVar(&pcfg.EvalBudget, "partition-eval-budget", 1000, "partition: evaluation ceiling per simplex search (0 disables)")
+	flag.Float64Var(&pcfg.MaxGapPct, "partition-max-gap", 5, "partition: max percent above the exhaustive simplex optimum where a sweep was recorded (0 disables)")
 	flag.Parse()
 	bcfg.SpeedupTolerance = cfg.SpeedupTolerance
 	kcfg.SpeedupTolerance = cfg.SpeedupTolerance
+	pcfg.OverheadTolerance = cfg.SpeedupTolerance
 
 	if *baselinePath == "" || *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
@@ -492,8 +666,22 @@ func main() {
 		}
 		problems = diffKernels(baseline, current, kcfg)
 		summary = fmt.Sprintf("%d kernel row(s) at %.2fx geomean speedup", len(current.Kernels), current.GeomeanSpeedup)
+	case "partition":
+		baseline, err := loadPartition(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		current, err := loadPartition(*currentPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		problems = diffPartition(baseline, current, pcfg)
+		summary = fmt.Sprintf("parity %.2fx overhead, %d simplex case(s) at gomaxprocs=%d",
+			current.Parity.Overhead, len(current.Simplex), current.GOMAXPROCS)
 	default:
-		fmt.Fprintf(os.Stderr, "benchdiff: unknown -mode %q (want search, batch or kernels)\n", *mode)
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown -mode %q (want search, batch, kernels or partition)\n", *mode)
 		os.Exit(2)
 	}
 

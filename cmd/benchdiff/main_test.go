@@ -369,3 +369,150 @@ func TestKernelsBrokenTimingFails(t *testing.T) {
 	current.Kernels[0].Speedup = 0
 	expectKernelProblem(t, goodKernelReport(), current, "recording is broken")
 }
+
+func goodPartitionReport() partitionReport {
+	r := partitionReport{GOMAXPROCS: 4, NumCPU: 4, Parallelism: 8}
+	r.Parity = partitionParityRow{
+		Searcher: "coarse-to-fine(8→1)", Workload: "cc", Dataset: "germany_osm",
+		Evals: 28, ScalarMS: 260, VectorMS: 270, Overhead: 1.04, Identical: true,
+	}
+	r.Simplex = []partitionSimplexRow{
+		{Devices: 3, Workload: "scenario", Dataset: "synthetic", Evals: 155,
+			ExhaustiveEvals: 5151, ExhaustiveGapPct: 0},
+		{Devices: 4, Workload: "scenario", Dataset: "synthetic", Evals: 230},
+		{Devices: 3, Workload: "spmm", Dataset: "cant", Evals: 36,
+			ExhaustiveEvals: 231, ExhaustiveGapPct: -0.7},
+	}
+	return r
+}
+
+func defaultPartitionCfg() partitionGateConfig {
+	return partitionGateConfig{OverheadTolerance: 0.30, MaxOverhead: 1.5, EvalBudget: 1000, MaxGapPct: 5}
+}
+
+func expectPartitionProblem(t *testing.T, baseline, current partitionReport, want string) {
+	t.Helper()
+	problems := diffPartition(baseline, current, defaultPartitionCfg())
+	if len(problems) == 0 {
+		t.Fatalf("expected a problem mentioning %q, got none", want)
+	}
+	for _, p := range problems {
+		if strings.Contains(p, want) {
+			return
+		}
+	}
+	t.Fatalf("no problem mentions %q; got %v", want, problems)
+}
+
+func TestPartitionCleanDiffPasses(t *testing.T) {
+	if problems := diffPartition(goodPartitionReport(), goodPartitionReport(), defaultPartitionCfg()); len(problems) > 0 {
+		t.Fatalf("expected clean diff, got %v", problems)
+	}
+}
+
+func TestPartitionSingleCoreRecordingIsHardFailure(t *testing.T) {
+	baseline := goodPartitionReport()
+	baseline.GOMAXPROCS = 1
+	current := goodPartitionReport()
+	current.GOMAXPROCS = 1
+	expectPartitionProblem(t, baseline, current, "single-core")
+}
+
+func TestPartitionLowGomaxprocsIsHardFailure(t *testing.T) {
+	// Stricter than search mode: 2 or 3 schedulable cores is refused
+	// too, not only single-core.
+	baseline := goodPartitionReport()
+	baseline.GOMAXPROCS = 2
+	current := goodPartitionReport()
+	current.GOMAXPROCS = 2
+	expectPartitionProblem(t, baseline, current, "GOMAXPROCS>=4")
+}
+
+func TestPartitionLowCPUCountIsHardFailure(t *testing.T) {
+	current := goodPartitionReport()
+	current.NumCPU = 1
+	expectPartitionProblem(t, goodPartitionReport(), current, ">=4 CPUs")
+}
+
+func TestPartitionGomaxprocsMismatchIsHardFailure(t *testing.T) {
+	current := goodPartitionReport()
+	current.GOMAXPROCS = 8
+	expectPartitionProblem(t, goodPartitionReport(), current, "gomaxprocs mismatch")
+}
+
+func TestPartitionEnvironmentFailureSuppressesRowChecks(t *testing.T) {
+	baseline := goodPartitionReport()
+	baseline.GOMAXPROCS = 1
+	current := goodPartitionReport()
+	current.Parity.Identical = false // would fail per-row, must not be reported
+	for _, p := range diffPartition(baseline, current, defaultPartitionCfg()) {
+		if strings.Contains(p, "identical") {
+			t.Fatalf("per-row problem reported despite environment failure")
+		}
+	}
+}
+
+func TestPartitionNonIdenticalParityFails(t *testing.T) {
+	current := goodPartitionReport()
+	current.Parity.Identical = false
+	expectPartitionProblem(t, goodPartitionReport(), current, "identical=false")
+}
+
+func TestPartitionOverheadCapFails(t *testing.T) {
+	baseline := goodPartitionReport()
+	baseline.Parity.Overhead = 1.9 // growth within tolerance, cap must still fire
+	current := goodPartitionReport()
+	current.Parity.Overhead = 1.9
+	expectPartitionProblem(t, baseline, current, "taxing the scalar search")
+}
+
+func TestPartitionOverheadGrowthFails(t *testing.T) {
+	current := goodPartitionReport()
+	current.Parity.Overhead = 1.45 // under the 1.5 cap but over 1.04 * 1.3 = 1.352
+	expectPartitionProblem(t, goodPartitionReport(), current, "overhead grew")
+}
+
+func TestPartitionEvalBudgetFails(t *testing.T) {
+	current := goodPartitionReport()
+	current.Simplex[1].Evals = 1500
+	expectPartitionProblem(t, goodPartitionReport(), current, "over the 1000 budget")
+}
+
+func TestPartitionDescentCostlierThanSweepFails(t *testing.T) {
+	current := goodPartitionReport()
+	current.Simplex[2].Evals = 231 // equals the sweep: no saving
+	expectPartitionProblem(t, goodPartitionReport(), current, "no saving")
+}
+
+func TestPartitionGapOverAcceptanceBarFails(t *testing.T) {
+	current := goodPartitionReport()
+	current.Simplex[0].ExhaustiveGapPct = 7.2
+	expectPartitionProblem(t, goodPartitionReport(), current, "acceptance bar")
+}
+
+func TestPartitionGapIgnoredWithoutSweep(t *testing.T) {
+	// A row that never ran the exhaustive sweep carries no gap
+	// information; a stale non-zero value must not trip the gate.
+	current := goodPartitionReport()
+	current.Simplex[1].ExhaustiveEvals = 0
+	current.Simplex[1].ExhaustiveGapPct = 99
+	if problems := diffPartition(goodPartitionReport(), current, defaultPartitionCfg()); len(problems) > 0 {
+		t.Fatalf("gap without a sweep must not gate, got %v", problems)
+	}
+}
+
+func TestPartitionMissingSimplexRowFails(t *testing.T) {
+	current := goodPartitionReport()
+	current.Simplex = current.Simplex[:2]
+	expectPartitionProblem(t, goodPartitionReport(), current, "missing from current")
+}
+
+func TestPartitionNewRowWithoutBaselinePasses(t *testing.T) {
+	current := goodPartitionReport()
+	current.Simplex = append(current.Simplex, partitionSimplexRow{
+		Devices: 5, Workload: "scenario", Dataset: "synthetic", Evals: 400,
+	})
+	if problems := diffPartition(goodPartitionReport(), current, defaultPartitionCfg()); len(problems) > 0 {
+		t.Fatalf("new row must not need a baseline, got %v", problems)
+	}
+}

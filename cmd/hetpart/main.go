@@ -8,6 +8,12 @@
 //	hetpart -workload spmm -dataset cant -seed 7
 //	hetpart -workload scalefree -dataset web-BerkStan
 //	hetpart -workload cc -mtx graph.mtx       # bring your own matrix
+//	hetpart -workload cc -dataset cant -devices 3   # N-device partition vector
+//
+// With -devices N (N ≥ 3; cc and spmm only) the scalar threshold
+// generalizes to an N-share partition vector over a CPU + (N-1) GPU
+// cascade: the estimate is compared against the NaiveStatic FLOPS-ratio
+// vector and (unless -skip-exhaustive) the exhaustive simplex optimum.
 package main
 
 import (
@@ -37,10 +43,17 @@ func main() {
 		repeats  = flag.Int("repeats", 3, "independent samples (median)")
 		par      = flag.Int("parallelism", 0, "concurrent threshold evaluations (0 = GOMAXPROCS, 1 = sequential; results identical)")
 		skipExh  = flag.Bool("skip-exhaustive", false, "skip the exhaustive comparison")
+		devices  = flag.Int("devices", 0, "estimate an N-device partition vector instead of the scalar threshold (0 = scalar, N ≥ 3 = CPU + N-1 GPUs)")
 	)
 	flag.Parse()
 
-	if err := run(*workload, *dataset, *mtxPath, *seed, *repeats, *par, *skipExh); err != nil {
+	var err error
+	if *devices > 0 {
+		err = runPartition(*workload, *dataset, *mtxPath, *devices, *seed, *repeats, *par, *skipExh)
+	} else {
+		err = run(*workload, *dataset, *mtxPath, *seed, *repeats, *par, *skipExh)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetpart:", err)
 		os.Exit(1)
 	}
@@ -64,6 +77,93 @@ func loadMatrix(dataset, mtxPath string) (*sparse.CSR, string, error) {
 	}
 	m, err := d.Matrix()
 	return m, d.Name, err
+}
+
+// runPartition is the -devices path: N-device partition-vector
+// estimation over the simplex, compared against the NaiveStatic
+// FLOPS-ratio vector and the exhaustive simplex optimum.
+func runPartition(workload, dataset, mtxPath string, devices int, seed uint64, repeats, parallelism int, skipExh bool) error {
+	if devices < 3 || devices > 8 {
+		return fmt.Errorf("-devices %d out of range (want 3..8; use the scalar path for two devices)", devices)
+	}
+	platform := hetsim.DefaultMulti(devices - 1)
+	cfg := core.Config{Seed: seed, Repeats: repeats, Parallelism: parallelism}
+
+	var w core.SampledPartition
+	switch workload {
+	case "cc":
+		var g *graph.Graph
+		var err error
+		if mtxPath != "" {
+			m, _, merr := loadMatrix(dataset, mtxPath)
+			if merr != nil {
+				return merr
+			}
+			g, err = graph.FromCSR(m)
+		} else {
+			d, derr := datasets.ByName(dataset)
+			if derr != nil {
+				return derr
+			}
+			dataset = d.Name
+			g, err = d.Graph()
+		}
+		if err != nil {
+			return err
+		}
+		w = hetcc.NewMultiWorkload(dataset, g, hetcc.NewMultiAlgorithm(platform))
+	case "spmm":
+		m, n, err := loadMatrix(dataset, mtxPath)
+		if err != nil {
+			return err
+		}
+		w, err = hetspmm.NewMultiWorkload(n, m, hetspmm.NewMultiAlgorithm(platform))
+		if err != nil {
+			return err
+		}
+		cfg.Searcher = core.RaceThenFine{Window: 4}
+	default:
+		return fmt.Errorf("workload %q does not support partition vectors (want cc or spmm)", workload)
+	}
+
+	start := time.Now()
+	est, err := core.EstimatePartition(context.Background(), w, cfg)
+	if err != nil {
+		return err
+	}
+	wallEst := time.Since(start)
+	estTime, err := w.EvaluatePartition(est.Partition)
+	if err != nil {
+		return err
+	}
+	static := core.Partition(platform.StaticShares())
+	staticTime, err := w.EvaluatePartition(static)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload:            %s (%d devices)\n", w.Name(), devices)
+	fmt.Printf("estimated partition: %s (sample %s, %d evals, %d samples)\n",
+		est.Partition, est.SamplePartition, est.Evals, est.Repeats)
+	fmt.Printf("simulated run time:  %v\n", estTime)
+	fmt.Printf("naive static vector: %s → %v (%.2f%% vs estimate)\n",
+		static, staticTime, 100*(float64(staticTime)/float64(estTime)-1))
+	fmt.Printf("estimation overhead: %v simulated (%.1f%% of total), %v wall clock\n",
+		est.Overhead(), 100*float64(est.Overhead())/float64(est.Overhead()+estTime),
+		wallEst.Round(time.Millisecond))
+
+	if skipExh {
+		return nil
+	}
+	ctx := core.WithParallelism(context.Background(), parallelism)
+	best, err := core.ExhaustiveSimplex{Step: 5}.SearchPartition(ctx, w, 0, 100)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exhaustive simplex:  %s (%v, step 5, %d evals); search would cost %v simulated\n",
+		best.Best, best.BestTime, best.Evals, best.Cost)
+	fmt.Printf("slowdown vs best:    %.2f%%\n", 100*(float64(estTime)/float64(best.BestTime)-1))
+	return nil
 }
 
 func run(workload, dataset, mtxPath string, seed uint64, repeats, parallelism int, skipExh bool) error {

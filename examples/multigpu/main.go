@@ -1,9 +1,9 @@
 // Multi-accelerator partitioning: the paper's Section II extension
 // where the partition threshold becomes a *vector*. A CPU plus two
-// unequal GPUs split a graph three ways; the vector threshold is
-// estimated from one contracted sample by coordinate descent and
-// compared against searching the full input, a CPU+single-GPU split,
-// and GPU-only execution.
+// unequal GPUs split a graph three ways; the partition vector is
+// estimated from one contracted sample by coordinate descent on the
+// simplex and compared against searching the full input, the static
+// FLOPS-ratio vector, a CPU+single-GPU split, and GPU-only execution.
 //
 //	go run ./examples/multigpu
 package main
@@ -37,50 +37,59 @@ func main() {
 	w := hetcc.NewMultiWorkload("rmat", g, alg)
 	w.SampleSize = 4 * hetcc.DefaultSampleSize(g.N)
 
-	// Estimate the share vector (CPU%, GPU0%; GPU1 takes the rest)
-	// from a single contracted sample.
-	est, err := core.EstimateVectorThreshold(context.Background(), w, core.Config{Seed: 11})
+	// Estimate the partition vector (CPU%, GPU0%, GPU1%) from a single
+	// contracted sample.
+	est, err := core.EstimatePartition(context.Background(), w, core.Config{Seed: 11})
 	if err != nil {
 		log.Fatal(err)
 	}
-	estTime, err := w.EvaluateVector(est.Thresholds)
+	estTime, err := w.EvaluatePartition(est.Partition)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("sampled vector estimate: CPU %.0f%%, GPU0 %.0f%%, GPU1 %.0f%% → %v\n",
-		est.Thresholds[0], est.Thresholds[1],
-		100-est.Thresholds[0]-est.Thresholds[1], estTime)
+		est.Partition[0], est.Partition[1], est.Partition[2], estTime)
 	fmt.Printf("estimation overhead: %v (%d sample evaluations)\n\n",
 		est.Overhead(), est.Evals)
 
-	// Compare against coordinate descent over the full input.
-	full, err := (core.CoordinateDescent{}).Search(context.Background(), w, 0, 100)
+	// The NaiveStatic generalization: shares proportional to peak FLOPS.
+	static := core.Partition(platform.StaticShares())
+	staticTime, err := w.EvaluatePartition(static)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("full-input search: CPU %.0f%%, GPU0 %.0f%% → %v (search cost %v, %d evals)\n",
-		full.Best[0], full.Best[1], full.BestTime, full.Cost, full.Evals)
+	fmt.Printf("static FLOPS-ratio:  CPU %.0f%%, GPU0 %.0f%%, GPU1 %.0f%% → %v\n\n",
+		static[0], static[1], static[2], staticTime)
+
+	// Compare against coordinate descent over the full input.
+	full, err := core.SimplexSearch{}.SearchPartition(context.Background(), w, 0, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full-input search: CPU %.0f%%, GPU0 %.0f%%, GPU1 %.0f%% → %v (search cost %v, %d evals)\n",
+		full.Best[0], full.Best[1], full.Best[2], full.BestTime, full.Cost, full.Evals)
 
 	// And against using only one accelerator or none.
 	var bestSingle time.Duration
-	var bestSingleVec []float64
+	var bestSingleVec core.Partition
 	for t0 := 0.0; t0 <= 100; t0 += 2 {
-		d, err := w.EvaluateVector([]float64{t0, 100 - t0}) // GPU1 idle
+		p := core.Partition{t0, 100 - t0, 0} // GPU1 idle
+		d, err := w.EvaluatePartition(p)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if bestSingle == 0 || d < bestSingle {
-			bestSingle, bestSingleVec = d, []float64{t0, 100 - t0}
+			bestSingle, bestSingleVec = d, p
 		}
 	}
 	fmt.Printf("best CPU+GPU0 only:  CPU %.0f%% → %v\n", bestSingleVec[0], bestSingle)
-	gpuOnly, err := w.EvaluateVector([]float64{0, 100})
+	gpuOnly, err := w.EvaluatePartition(core.Partition{0, 100, 0})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("GPU0 only:           %v\n\n", gpuOnly)
 
-	res, err := alg.Run(g, est.Thresholds)
+	res, err := alg.Run(g, est.Partition)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -432,6 +432,14 @@ func (g *Gateway) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	} else {
 		key = "dataset:" + r.URL.Query().Get("dataset")
 	}
+	// Partition-vector requests (?devices=N) join the routing key: the
+	// backend builds and caches a different workload per device count,
+	// so pinning each (input, devices) pair to its own replica chain
+	// keeps both the result LRU and the build cache hot — scalar and
+	// partition traffic over the same input shard independently.
+	if d := r.URL.Query().Get("devices"); d != "" {
+		key += "|devices=" + d
+	}
 
 	// Coalescing must distinguish requests that differ in any estimation
 	// parameter, so the flight key adds the canonicalized query string.

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// getEstimate GETs /estimate with the given query through the gateway.
+func getEstimate(t *testing.T, base, query string) gwResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/estimate?" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	out := gwResponse{
+		status:  resp.StatusCode,
+		backend: resp.Header.Get("X-Hetgate-Backend"),
+	}
+	if err := json.Unmarshal(raw, &out.body); err != nil {
+		t.Fatalf("bad JSON (status %d): %v\n%s", resp.StatusCode, err, raw)
+	}
+	return out
+}
+
+// TestGatewayPartitionRouting — ?devices=N requests flow through the
+// gateway to a backend, return a valid partition, and route sticky:
+// the same (input, devices) pair always lands on the same replica,
+// while different device counts may shard elsewhere (distinct keys).
+func TestGatewayPartitionRouting(t *testing.T) {
+	_, _, ts := startCluster(t, 3, nil)
+
+	const q3 = "workload=cc&dataset=cant&devices=3&repeats=1"
+	first := getEstimate(t, ts.URL, q3)
+	if first.status != 200 {
+		t.Fatalf("status %d: %v", first.status, first.body)
+	}
+	parts, ok := first.body["partition"].([]any)
+	if !ok || len(parts) != 3 {
+		t.Fatalf("partition = %v, want 3 shares", first.body["partition"])
+	}
+	if first.body["devices"].(float64) != 3 {
+		t.Errorf("devices = %v, want 3", first.body["devices"])
+	}
+
+	// Repeats of the identical request stay on the first backend (ring
+	// locality) and hit its result cache.
+	for i := 0; i < 3; i++ {
+		again := getEstimate(t, ts.URL, q3)
+		if again.status != 200 {
+			t.Fatalf("repeat %d: status %d", i, again.status)
+		}
+		if again.backend != first.backend {
+			t.Errorf("repeat %d routed to %s, want %s", i, again.backend, first.backend)
+		}
+		if again.body["cached"] != true {
+			t.Errorf("repeat %d not served from cache", i)
+		}
+	}
+
+	// The scalar request over the same input carries a different
+	// routing key; wherever it lands it must not see the partition
+	// entry (its answer has no partition field).
+	scalar := getEstimate(t, ts.URL, "workload=cc&dataset=cant&repeats=1")
+	if scalar.status != 200 {
+		t.Fatalf("scalar status %d", scalar.status)
+	}
+	if _, has := scalar.body["partition"]; has {
+		t.Errorf("scalar answer carries a partition: %v", scalar.body["partition"])
+	}
+}

@@ -37,6 +37,15 @@ type Config struct {
 	// stays a real search — it just starts where a structurally
 	// similar input already found its balance.
 	WarmStart *WarmStart
+	// Start seeds the simplex descent of EstimatePartition with an
+	// explicit partition vector — typically the platform's
+	// NaiveStatic FLOPS-ratio shares. It must be a valid Partition
+	// (non-negative shares summing to 100 after rounding); invalid
+	// vectors are rejected with a structured *PartitionError,
+	// mirroring the Lo/Hi range check, never silently renormalized.
+	// nil lets the searcher start from the equal split. Ignored by
+	// the scalar EstimateThreshold pipeline.
+	Start Partition
 }
 
 // DefaultWarmWindow is the half-width of the warm-started Identify

@@ -1,6 +1,7 @@
 package hetcc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,47 +47,44 @@ type MultiResult struct {
 	Trace      hetsim.Trace
 }
 
-// shares converts the threshold vector into per-device vertex shares
-// summing to 100: component i is device i's share; the last device
-// receives the remainder. Components are clamped so no share goes
-// negative.
-func (a *MultiAlgorithm) shares(t []float64) ([]float64, error) {
-	want := a.Platform.Devices() - 1
-	if len(t) != want {
-		return nil, fmt.Errorf("hetcc: threshold vector has %d components, want %d", len(t), want)
+// checkPartition validates a caller-supplied share vector against the
+// platform: it must be a valid core.Partition (non-negative shares
+// summing to 100 — malformed vectors are rejected with a structured
+// *core.PartitionError, never silently renormalized) with exactly one
+// share per device.
+func (a *MultiAlgorithm) checkPartition(p core.Partition) error {
+	if err := p.Validate(); err != nil {
+		return err
 	}
-	out := make([]float64, a.Platform.Devices())
-	remaining := 100.0
-	for i, v := range t {
-		if v < 0 || v > 100 {
-			return nil, fmt.Errorf("hetcc: threshold component %d = %v outside [0, 100]", i, v)
+	if len(p) != a.Platform.Devices() {
+		return &core.PartitionError{
+			Shares: p.Clone(), Index: -1, Sum: p.Sum(),
+			Reason: fmt.Sprintf("has %d shares, platform has %d devices", len(p), a.Platform.Devices()),
 		}
-		if v > remaining {
-			v = remaining
-		}
-		out[i] = v
-		remaining -= v
 	}
-	out[len(out)-1] = remaining
-	return out, nil
+	return nil
 }
 
-// Run executes multi-device CC with the given threshold vector.
-func (a *MultiAlgorithm) Run(g *graph.Graph, t []float64) (*MultiResult, error) {
+// Run executes multi-device CC with the given partition: share i of p
+// is the percentage of vertices assigned to platform device i (device
+// 0 is the CPU).
+func (a *MultiAlgorithm) Run(g *graph.Graph, p core.Partition) (*MultiResult, error) {
 	if g == nil {
 		return nil, fmt.Errorf("hetcc: nil graph")
 	}
-	sh, err := a.shares(t)
-	if err != nil {
+	if err := a.checkPartition(p); err != nil {
 		return nil, err
 	}
 	// Cut points in vertex space.
-	nDev := len(sh)
+	nDev := len(p)
 	cuts := make([]int, nDev+1)
 	acc := 0.0
-	for i, s := range sh {
+	for i, s := range p {
 		acc += s
 		cuts[i+1] = int(float64(g.N) * acc / 100)
+		if cuts[i+1] > g.N {
+			cuts[i+1] = g.N
+		}
 	}
 	cuts[nDev] = g.N
 
@@ -227,8 +225,8 @@ func mergeMulti(g *graph.Graph, cuts []int, results []*graph.CCResult, cross []g
 	return labels
 }
 
-// MultiWorkload adapts multi-device CC to the vector partitioning
-// framework (core.SampledVector).
+// MultiWorkload adapts multi-device CC to the partition framework
+// (core.SampledPartition).
 type MultiWorkload struct {
 	name string
 	g    *graph.Graph
@@ -239,32 +237,31 @@ type MultiWorkload struct {
 	KeepFrac float64
 }
 
-var _ core.SampledVector = (*MultiWorkload)(nil)
+var _ core.SampledPartition = (*MultiWorkload)(nil)
 
-// NewMultiWorkload wraps g for vector-threshold estimation.
+// NewMultiWorkload wraps g for partition-vector estimation.
 func NewMultiWorkload(name string, g *graph.Graph, alg *MultiAlgorithm) *MultiWorkload {
 	return &MultiWorkload{name: name, g: g, alg: alg}
 }
 
-// Name implements core.VectorWorkload.
+// Name implements core.PartitionWorkload.
 func (w *MultiWorkload) Name() string { return "cc-multi/" + w.name }
 
-// Dim implements core.VectorWorkload: one share per device except the
-// last, which takes the remainder.
-func (w *MultiWorkload) Dim() int { return w.alg.Platform.Devices() - 1 }
+// Devices implements core.PartitionWorkload.
+func (w *MultiWorkload) Devices() int { return w.alg.Platform.Devices() }
 
-// EvaluateVector implements core.VectorWorkload.
-func (w *MultiWorkload) EvaluateVector(t []float64) (time.Duration, error) {
-	res, err := w.alg.Run(w.g, t)
+// EvaluatePartition implements core.PartitionWorkload.
+func (w *MultiWorkload) EvaluatePartition(p core.Partition) (time.Duration, error) {
+	res, err := w.alg.Run(w.g, p)
 	if err != nil {
 		return 0, err
 	}
 	return res.Time, nil
 }
 
-// SampleVector implements core.SampledVector using the same contracted
-// sampler as the two-device workload.
-func (w *MultiWorkload) SampleVector(r *xrand.Rand) (core.VectorWorkload, time.Duration, error) {
+// SamplePartition implements core.SampledPartition using the same
+// contracted sampler as the two-device workload.
+func (w *MultiWorkload) SamplePartition(ctx context.Context, r *xrand.Rand) (core.PartitionWorkload, time.Duration, error) {
 	k := w.SampleSize
 	if k <= 0 {
 		k = DefaultSampleSize(w.g.N)
@@ -293,8 +290,6 @@ func (w *MultiWorkload) SampleVector(r *xrand.Rand) (core.VectorWorkload, time.D
 	return inner, cost, nil
 }
 
-// ExtrapolateVector implements core.SampledVector (identity, as in the
-// scalar CC case).
-func (w *MultiWorkload) ExtrapolateVector(t []float64) []float64 {
-	return append([]float64(nil), t...)
-}
+// ExtrapolatePartition implements core.SampledPartition (identity, as
+// in the scalar CC case).
+func (w *MultiWorkload) ExtrapolatePartition(p core.Partition) core.Partition { return p }

@@ -2,9 +2,9 @@ package hetcc
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -15,19 +15,20 @@ func TestMultiRunCorrectness(t *testing.T) {
 	g := testGraph(t, graph.KindGNM, 600, 1400, 31)
 	ref := graph.DFS(g)
 	alg := NewMultiAlgorithm(hetsim.DefaultMulti(2))
-	for _, vec := range [][]float64{
-		{0, 0}, {100, 0}, {0, 100}, {30, 30}, {10, 80}, {50, 50}, {33.3, 33.3},
+	for _, p := range []core.Partition{
+		{0, 0, 100}, {100, 0, 0}, {0, 100, 0}, {30, 30, 40},
+		{10, 80, 10}, {50, 50, 0}, {33.3, 33.3, 33.4},
 	} {
-		res, err := alg.Run(g, vec)
+		res, err := alg.Run(g, p)
 		if err != nil {
-			t.Fatalf("t=%v: %v", vec, err)
+			t.Fatalf("p=%v: %v", p, err)
 		}
 		if res.Components != ref.Components {
-			t.Errorf("t=%v: components %d, want %d", vec, res.Components, ref.Components)
+			t.Errorf("p=%v: components %d, want %d", p, res.Components, ref.Components)
 		}
 		for v := range ref.Labels {
 			if res.Labels[v] != ref.Labels[v] {
-				t.Fatalf("t=%v: label[%d] mismatch", vec, v)
+				t.Fatalf("p=%v: label[%d] mismatch", p, v)
 			}
 		}
 	}
@@ -38,7 +39,7 @@ func TestMultiRunAcrossKinds(t *testing.T) {
 	for _, kind := range []graph.GenKind{graph.KindRMAT, graph.KindRoad} {
 		g := testGraph(t, kind, 900, 2500, 33)
 		ref := graph.DFS(g)
-		res, err := alg.Run(g, []float64{20, 40, 20})
+		res, err := alg.Run(g, core.Partition{20, 40, 20, 20})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,21 +55,28 @@ func TestMultiRunAcrossKinds(t *testing.T) {
 func TestMultiSharesValidation(t *testing.T) {
 	g := testGraph(t, graph.KindGNM, 50, 80, 35)
 	alg := NewMultiAlgorithm(hetsim.DefaultMulti(2))
-	if _, err := alg.Run(g, []float64{50}); err == nil {
-		t.Error("wrong vector length accepted")
+	cases := []struct {
+		name string
+		p    core.Partition
+	}{
+		{"wrong-length", core.Partition{50, 50}},
+		{"negative", core.Partition{-1, 50, 51}},
+		{"under-100", core.Partition{10, 10, 10}},
+		{"over-100", core.Partition{80, 80, 80}},
 	}
-	if _, err := alg.Run(g, []float64{-1, 50}); err == nil {
-		t.Error("negative component accepted")
+	for _, tc := range cases {
+		_, err := alg.Run(g, tc.p)
+		if err == nil {
+			t.Errorf("%s: %v accepted", tc.name, tc.p)
+			continue
+		}
+		var pe *core.PartitionError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error %v is not *core.PartitionError", tc.name, err)
+		}
 	}
-	if _, err := alg.Run(g, []float64{50, 101}); err == nil {
-		t.Error("component > 100 accepted")
-	}
-	if _, err := alg.Run(nil, []float64{10, 10}); err == nil {
+	if _, err := alg.Run(nil, core.Partition{10, 10, 80}); err == nil {
 		t.Error("nil graph accepted")
-	}
-	// Components summing above 100 clamp rather than fail.
-	if _, err := alg.Run(g, []float64{80, 80}); err != nil {
-		t.Errorf("over-100 sum not clamped: %v", err)
 	}
 }
 
@@ -78,15 +86,14 @@ func TestMultiSecondGPUHelps(t *testing.T) {
 	g := testGraph(t, graph.KindMesh, 12000, 48000, 37)
 	alg := NewMultiAlgorithm(hetsim.DefaultMulti(2))
 	w := NewMultiWorkload("mesh", g, alg)
-	both, err := (core.CoordinateDescent{}).Search(context.Background(), w, 0, 100)
+	both, err := core.SimplexSearch{}.SearchPartition(context.Background(), w, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Leaving GPU 1 idle: second component forced to take all
-	// remaining share (t[1] = 100 - t[0]) so the last device gets 0.
+	// Leaving GPU 1 idle: the last device's share forced to 0.
 	idleBest := math.Inf(1)
 	for t0 := 0.0; t0 <= 100; t0 += 5 {
-		d, err := w.EvaluateVector([]float64{t0, 100 - t0})
+		d, err := w.EvaluatePartition(core.Partition{t0, 100 - t0, 0})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,63 +107,35 @@ func TestMultiSecondGPUHelps(t *testing.T) {
 	}
 }
 
-func TestMultiVectorEstimate(t *testing.T) {
+func TestMultiPartitionEstimate(t *testing.T) {
 	g := testGraph(t, graph.KindRMAT, 16384, 120000, 39)
 	alg := NewMultiAlgorithm(hetsim.DefaultMulti(2))
 	w := NewMultiWorkload("rmat", g, alg)
 	w.SampleSize = 4 * DefaultSampleSize(g.N)
-	est, err := core.EstimateVectorThreshold(context.Background(), w, core.Config{Seed: 9})
+	est, err := core.EstimatePartition(context.Background(), w, core.Config{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(est.Thresholds) != 2 {
-		t.Fatalf("thresholds = %v", est.Thresholds)
+	if len(est.Partition) != 3 {
+		t.Fatalf("partition = %v", est.Partition)
 	}
-	estTime, err := w.EvaluateVector(est.Thresholds)
+	if err := est.Partition.Validate(); err != nil {
+		t.Fatalf("estimated partition invalid: %v", err)
+	}
+	estTime, err := w.EvaluatePartition(est.Partition)
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := (core.CoordinateDescent{}).Search(context.Background(), w, 0, 100)
+	full, err := core.SimplexSearch{}.SearchPartition(context.Background(), w, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if float64(estTime) > 1.6*float64(full.BestTime) {
 		t.Errorf("vector estimate %v (%v) vs searched optimum %v (%v)",
-			est.Thresholds, estTime, full.Best, full.BestTime)
+			est.Partition, estTime, full.Best, full.BestTime)
 	}
 	if est.Overhead() >= full.Cost/3 {
 		t.Errorf("estimation overhead %v not well below full search cost %v",
 			est.Overhead(), full.Cost)
 	}
-}
-
-func TestCoordinateDescentOnScalarizableLandscape(t *testing.T) {
-	// Degenerate vector workload with an additive landscape: optimum
-	// at (30, 50).
-	w := &quadVec{opt: []float64{30, 50}}
-	res, err := (core.CoordinateDescent{}).Search(context.Background(), w, 0, 100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i, want := range w.opt {
-		if math.Abs(res.Best[i]-want) > 2 {
-			t.Errorf("component %d = %v, want %v", i, res.Best[i], want)
-		}
-	}
-	if res.Evals == 0 || res.Cost <= 0 {
-		t.Error("search accounting missing")
-	}
-}
-
-type quadVec struct{ opt []float64 }
-
-func (q *quadVec) Name() string { return "quad" }
-func (q *quadVec) Dim() int     { return len(q.opt) }
-func (q *quadVec) EvaluateVector(t []float64) (time.Duration, error) {
-	s := 1.0
-	for i := range t {
-		d := t[i] - q.opt[i]
-		s += d * d
-	}
-	return time.Duration(s * 1000), nil
 }

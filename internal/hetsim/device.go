@@ -255,6 +255,58 @@ type MultiPlatform struct {
 // Devices returns 1 + len(GPUs).
 func (p *MultiPlatform) Devices() int { return 1 + len(p.GPUs) }
 
+// Device returns device i in partition order: index 0 is the CPU,
+// index i >= 1 is GPUs[i-1]. Partition share i of a core.Partition
+// always refers to this ordering.
+func (p *MultiPlatform) Device(i int) *Device {
+	if i == 0 {
+		return p.CPU
+	}
+	return p.GPUs[i-1]
+}
+
+// flops returns a device's peak regular throughput.
+func flops(d *Device) float64 { return float64(d.Spec.Cores) * d.Spec.CoreRate }
+
+// StaticShares returns the NaiveStatic partition vector: each device's
+// share of the input is proportional to its peak FLOPS, the
+// N-device generalization of the paper's FLOPS-ratio split (for one
+// GPU it reduces to [100·StaticCPUShare, 100·(1-StaticCPUShare)]).
+// The last device absorbs the rounding remainder so the shares sum to
+// 100 exactly.
+func (p *MultiPlatform) StaticShares() []float64 {
+	n := p.Devices()
+	var total float64
+	for i := 0; i < n; i++ {
+		total += flops(p.Device(i))
+	}
+	shares := make([]float64, n)
+	var sum float64
+	for i := 0; i < n-1; i++ {
+		shares[i] = 100 * flops(p.Device(i)) / total
+		sum += shares[i]
+	}
+	shares[n-1] = 100 - sum
+	return shares
+}
+
+// Signature returns a compact identity string for the multi-device
+// platform, in the spirit of Platform.Signature: device order matters,
+// because partition shares are positional.
+func (p *MultiPlatform) Signature() string {
+	dev := func(d *Device) string {
+		s := d.Spec
+		return fmt.Sprintf("%s:%dx%.4g:mb%.4g:dp%.3g:rp%.3g:ll%d",
+			s.Name, s.Cores, s.CoreRate, s.MemBandwidth,
+			s.DivergencePenalty, s.RandomAccessPenalty, s.LaunchLatency.Nanoseconds())
+	}
+	sig := fmt.Sprintf("cpu{%s}", dev(p.CPU))
+	for _, g := range p.GPUs {
+		sig += fmt.Sprintf("gpu{%s}", dev(g))
+	}
+	return sig + fmt.Sprintf("link{%.4g:%d}", p.Link.Bandwidth, p.Link.Latency.Nanoseconds())
+}
+
 // DefaultMulti returns the Default platform's CPU and link with n
 // accelerators: the first is the K40c-like device, each further one
 // runs at 60% of the previous one's core count (an older or

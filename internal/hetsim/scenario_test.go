@@ -1,0 +1,207 @@
+package hetsim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+func TestStaticSharesSumTo100(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		mp := DefaultMulti(n)
+		shares := mp.StaticShares()
+		if len(shares) != mp.Devices() {
+			t.Fatalf("n=%d: %d shares for %d devices", n, len(shares), mp.Devices())
+		}
+		if err := core.Partition(shares).Validate(); err != nil {
+			t.Errorf("n=%d: StaticShares() = %v: %v", n, shares, err)
+		}
+		// Faster devices get larger shares: GPU 0 has the most cores.
+		if shares[1] <= shares[0] {
+			t.Errorf("n=%d: GPU0 share %v not above CPU share %v", n, shares[1], shares[0])
+		}
+	}
+}
+
+func TestMultiPlatformSignature(t *testing.T) {
+	a, b := DefaultMulti(2), DefaultMulti(2)
+	if a.Signature() != b.Signature() {
+		t.Error("equal inventories have different signatures")
+	}
+	if a.Signature() == DefaultMulti(3).Signature() {
+		t.Error("different device counts share a signature")
+	}
+	if a.Signature() == "" {
+		t.Error("empty signature")
+	}
+}
+
+func TestMultiPlatformDevice(t *testing.T) {
+	mp := DefaultMulti(2)
+	if mp.Device(0) != mp.CPU {
+		t.Error("Device(0) is not the CPU")
+	}
+	for i, g := range mp.GPUs {
+		if mp.Device(i+1) != g {
+			t.Errorf("Device(%d) is not GPUs[%d]", i+1, i)
+		}
+	}
+}
+
+func testScenario(n int) *Scenario {
+	return NewScenario("test", ScenarioSpec{
+		Platform: DefaultMulti(n - 1),
+		Skew:     0.6,
+		CV:       0.8,
+		CVSlope:  1.5,
+	})
+}
+
+func TestScenarioEvaluateValidates(t *testing.T) {
+	s := testScenario(3)
+	var pe *core.PartitionError
+	if _, err := s.EvaluatePartition(core.Partition{50, 50}); !errors.As(err, &pe) {
+		t.Errorf("wrong device count: %v, want *core.PartitionError", err)
+	}
+	if _, err := s.EvaluatePartition(core.Partition{60, 60, -20}); !errors.As(err, &pe) {
+		t.Errorf("negative share: %v, want *core.PartitionError", err)
+	}
+	if _, err := s.EvaluatePartition(core.Partition{20, 30, 50}); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+}
+
+// TestScenarioLandscape — the scenario's optimum is input-dependent:
+// it differs from the FLOPS-ratio vector (otherwise NaiveStatic would
+// already be optimal and the Identify stage would be pointless), and
+// all-one-device vectors are worse than the best mixed split.
+func TestScenarioLandscape(t *testing.T) {
+	s := testScenario(3)
+	ctx := context.Background()
+	best, err := core.ExhaustiveSimplex{Step: 5}.SearchPartition(ctx, s, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := core.Partition(s.Platform.StaticShares())
+	staticTime, err := s.EvaluatePartition(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(staticTime) < 1.02*float64(best.BestTime) {
+		t.Errorf("static %v (%v) within 2%% of optimum %v (%v): landscape too easy",
+			static, staticTime, best.Best, best.BestTime)
+	}
+	for _, p := range []core.Partition{{100, 0, 0}, {0, 100, 0}, {0, 0, 100}} {
+		d, err := s.EvaluatePartition(p)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if d <= best.BestTime {
+			t.Errorf("single-device %v (%v) beats mixed optimum (%v)", p, d, best.BestTime)
+		}
+	}
+}
+
+// TestScenarioIdentifyWithinFivePercent is the acceptance criterion:
+// the sampled Identify pipeline lands within 5% of the exhaustive
+// simplex optimum on the 3-device scenario.
+func TestScenarioIdentifyWithinFivePercent(t *testing.T) {
+	s := testScenario(3)
+	ctx := context.Background()
+	est, err := core.EstimatePartition(ctx, s, core.Config{Seed: 42, Repeats: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	estTime, err := s.EvaluatePartition(est.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := core.ExhaustiveSimplex{Step: 1}.SearchPartition(ctx, s, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := float64(estTime)/float64(best.BestTime) - 1
+	if gap > 0.05 {
+		t.Errorf("identified %s (%v) is %.1f%% above the exhaustive optimum %s (%v), want ≤ 5%%",
+			est.Partition, estTime, 100*gap, best.Best, best.BestTime)
+	}
+	if est.Evals >= best.Evals {
+		t.Errorf("identify used %d evals, exhaustive used %d — no saving", est.Evals, best.Evals)
+	}
+}
+
+// TestParallelScenarioDeterminism — the full pipeline over
+// the scenario is bit-identical at any parallelism.
+func TestParallelScenarioDeterminism(t *testing.T) {
+	s := testScenario(4)
+	base, err := core.EstimatePartition(context.Background(), s, core.Config{Seed: 7, Repeats: 2, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.EstimatePartition(context.Background(), s, core.Config{Seed: 7, Repeats: 2, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, par) {
+		t.Errorf("P=1 %+v != P=8 %+v", base, par)
+	}
+}
+
+func TestScenarioSampleIsDeterministicInRNG(t *testing.T) {
+	s := testScenario(3)
+	a, costA, err := s.SamplePartition(context.Background(), xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, costB, err := s.SamplePartition(context.Background(), xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costA != costB || costA <= 0 {
+		t.Errorf("sample costs %v, %v", costA, costB)
+	}
+	pa, _ := a.EvaluatePartition(core.Partition{40, 35, 25})
+	pb, _ := b.EvaluatePartition(core.Partition{40, 35, 25})
+	if pa != pb {
+		t.Errorf("same-seed samples disagree: %v vs %v", pa, pb)
+	}
+	full, _ := s.EvaluatePartition(core.Partition{40, 35, 25})
+	if pa >= full {
+		t.Errorf("sample evaluation %v not cheaper than full %v", pa, full)
+	}
+}
+
+func TestScenarioRaceEstimate(t *testing.T) {
+	s := testScenario(3)
+	shares, cost, err := s.EstimatePartitionByRace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shares.Validate(); err != nil {
+		t.Errorf("race shares %v: %v", shares, err)
+	}
+	if cost <= 0 {
+		t.Errorf("race cost %v", cost)
+	}
+	if math.Abs(shares.Sum()-100) > 1e-9 {
+		t.Errorf("race shares sum to %v", shares.Sum())
+	}
+	// The race charges each accelerator the whole input's transfer, so
+	// on this transfer-bound scenario the CPU must win the race — the
+	// coarse estimate reflects observed end-to-end rates, not FLOPS.
+	if shares[0] <= shares[1] || shares[0] <= shares[2] {
+		t.Errorf("race shares %v: CPU should dominate a transfer-bound race", shares)
+	}
+	again, _, err := s.EstimatePartitionByRace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(shares, again) {
+		t.Errorf("race not deterministic: %v vs %v", shares, again)
+	}
+}

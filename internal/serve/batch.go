@@ -200,7 +200,7 @@ func (s *Server) runBatch(jobCtx context.Context, bw *batch.Writer, items []*bat
 			s.metrics.CacheHit()
 			if resp.Stale {
 				s.metrics.StaleServed()
-				s.revalidate(it.cacheKey, it.workload, it.input, it.src.Body, it.searcher, it.seed, it.repeats)
+				s.revalidate(it.cacheKey, it.workload, it.input, it.src.Body, it.searcher, it.seed, it.repeats, 0, nil)
 			}
 			summary.Completed++
 			s.metrics.BatchItem("cached")

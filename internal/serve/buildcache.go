@@ -26,11 +26,11 @@ type buildCache struct {
 	flight flight.Group
 
 	mu sync.Mutex
-	m  map[string]core.Sampled
+	m  map[string]any
 }
 
 func newBuildCache() *buildCache {
-	return &buildCache{m: make(map[string]core.Sampled)}
+	return &buildCache{m: make(map[string]any)}
 }
 
 // buildKey identifies one constructed workload. The platform's device
@@ -40,32 +40,59 @@ func buildKey(platform *hetsim.Platform, workload, dataset string) string {
 	return strings.Join([]string{platform.CPU.Spec.Name, platform.GPU.Spec.Name, workload, dataset}, "|")
 }
 
-// get returns the cached workload for key, or builds it. Concurrent
-// misses on one key coalesce into a single build (singleflight): the
-// leader builds, followers share the result and count as hits. Build
-// errors are returned to the whole herd and not cached, so a transient
-// failure does not poison the key.
-func (c *buildCache) get(key string, build func() (core.Sampled, error)) (w core.Sampled, hit bool, err error) {
+// multiBuildKey identifies one constructed N-device partition workload.
+// The multi-platform signature embeds every device's calibration plus
+// the link, so inventories of different size or speed never collide —
+// and never collide with scalar buildKey entries, whose keys have no
+// signature braces.
+func multiBuildKey(mp *hetsim.MultiPlatform, workload, dataset string) string {
+	return strings.Join([]string{mp.Signature(), workload, dataset}, "|")
+}
+
+// do returns the cached value for key, or builds it. Concurrent misses
+// on one key coalesce into a single build (singleflight): the leader
+// builds, followers share the result and count as hits. Build errors
+// are returned to the whole herd and not cached, so a transient failure
+// does not poison the key.
+func (c *buildCache) do(key string, build func() (any, error)) (v any, hit bool, err error) {
 	c.mu.Lock()
-	if w, ok := c.m[key]; ok {
+	if v, ok := c.m[key]; ok {
 		c.mu.Unlock()
-		return w, true, nil
+		return v, true, nil
 	}
 	c.mu.Unlock()
 	v, err, leader := c.flight.Do(key, func() (any, error) {
-		w, err := build()
+		v, err := build()
 		if err != nil {
 			return nil, err
 		}
 		c.mu.Lock()
-		c.m[key] = w
+		c.m[key] = v
 		c.mu.Unlock()
-		return w, nil
+		return v, nil
 	})
 	if err != nil {
 		return nil, false, err
 	}
-	return v.(core.Sampled), !leader, nil
+	return v, !leader, nil
+}
+
+// get is do typed for scalar threshold workloads.
+func (c *buildCache) get(key string, build func() (core.Sampled, error)) (w core.Sampled, hit bool, err error) {
+	v, hit, err := c.do(key, func() (any, error) { return build() })
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(core.Sampled), hit, nil
+}
+
+// getPartition is do typed for N-device partition workloads.
+func (c *buildCache) getPartition(key string, build func() (core.SampledPartition, error)) (w core.SampledPartition, hit bool, err error) {
+	v, hit, err := c.do(key, func() (any, error) { return build() })
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(core.SampledPartition), hit, nil
 }
 
 // len reports the current population (tests, metrics).

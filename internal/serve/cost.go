@@ -34,6 +34,27 @@ func warmSearchCost(s core.Searcher, repeats int) int64 {
 // available before any workload is built. Precision is not the point:
 // admission only needs exhaustive(step=1)×9 to look ~30× dearer than
 // race-then-fine×1, which this delivers.
+// simplexCostRounds is the coordinate-descent round count the
+// admission estimate assumes for N ≥ 3 partition searches: one
+// improving pass plus a confirming pass is the common case, and a
+// third covers slow convergence. Deliberately below the searcher's
+// MaxRounds ceiling — admission is a congestion estimate, not a bound.
+const simplexCostRounds = 3
+
+// partitionSearchCost estimates the evaluation cost of an N-device
+// simplex search: coordinate descent runs one scalar axis search per
+// device but the last, for a few rounds. At N=2 the simplex search is
+// defined to run exactly one axis round, so its cost is the scalar
+// search cost — partition requests at two devices are admitted exactly
+// like scalar ones.
+func partitionSearchCost(s core.Searcher, repeats, devices int) int64 {
+	cost := searchCost(s, repeats)
+	if devices <= 2 {
+		return cost
+	}
+	return cost * int64(devices-1) * simplexCostRounds
+}
+
 func searchCost(s core.Searcher, repeats int) int64 {
 	if repeats < 1 {
 		repeats = 1

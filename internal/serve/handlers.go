@@ -35,6 +35,16 @@ type EstimateResponse struct {
 	SampleThreshold float64 `json:"sample_threshold"`
 	Evals           int     `json:"evals"`
 
+	// Devices and the partition fields are present on ?devices=N
+	// requests: the estimation ran over the N-device simplex instead of
+	// the scalar threshold. Partition[i] is device i's share of the
+	// work in percent (device 0 is the CPU); NaiveStaticPartition is
+	// the static FLOPS-ratio vector the paper's baseline would pick.
+	Devices              int            `json:"devices,omitempty"`
+	Partition            core.Partition `json:"partition,omitempty"`
+	SamplePartition      core.Partition `json:"sample_partition,omitempty"`
+	NaiveStaticPartition core.Partition `json:"naive_static_partition,omitempty"`
+
 	RunTimeNS  int64  `json:"run_time_simulated_ns"`
 	RunTime    string `json:"run_time_simulated"`
 	SampleNS   int64  `json:"sample_cost_ns"`
@@ -174,6 +184,33 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 		return nil, badRequest("%v", err)
 	}
 
+	// ?devices=N switches the pipeline to N-device partition-vector
+	// estimation. devices == 0 is the legacy scalar threshold path.
+	devices := 0
+	if v := q.Get("devices"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 2 || n > MaxEstimateDevices {
+			return nil, badRequest("bad devices %q (want 2..%d)", v, MaxEstimateDevices)
+		}
+		devices = n
+	}
+	var mp *hetsim.MultiPlatform
+	if devices > 0 {
+		if workload == WorkloadScaleFree {
+			return nil, badRequest("workload %q does not support partition vectors (want %s or %s)",
+				workload, WorkloadCC, WorkloadSpMM)
+		}
+		if devices >= 3 {
+			mp, err = s.multiPlatform(devices)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// devices == 2 runs AsPartition over the scalar two-device
+		// workload — bit-identical to the scalar search by construction,
+		// so it needs no multi-platform inventory.
+	}
+
 	// Resolve the input: an uploaded MatrixMarket body (POST) or a
 	// named Table II dataset (GET).
 	var (
@@ -224,6 +261,7 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 	cacheKey := strings.Join([]string{
 		key, workload, searcher.Name(),
 		strconv.FormatUint(seed, 10), strconv.Itoa(repeats),
+		"d" + strconv.Itoa(devices),
 	}, "|")
 	_, cspan := obs.StartSpan(r.Context(), "cache.lookup")
 	v, hit := s.cache.Get(cacheKey)
@@ -245,7 +283,7 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 		// run — and none at all under overload.
 		s.metrics.StaleServed()
 		resp.Stale = true
-		s.revalidate(cacheKey, workload, input, body, searcher, seed, repeats)
+		s.revalidate(cacheKey, workload, input, body, searcher, seed, repeats, devices, mp)
 		return &resp, nil
 	}
 
@@ -277,11 +315,14 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request, workload strin
 		// reading the upload ate a slice of the budget already.
 		ctx, cancel := context.WithDeadline(r.Context(), start.Add(timeout))
 		defer cancel()
+		if devices > 0 {
+			return s.runPartitionPipeline(ctx, cacheKey, workload, input, body, mp, devices, searcher, seed, repeats)
+		}
 		return s.runPipeline(ctx, cacheKey, workload, input, body, searcher, seed, repeats, hint)
 	})
 	if err != nil {
 		if errors.Is(err, resilience.ErrOverloaded) {
-			if resp, ok := s.shedFallback(w, cacheKey, workload, input, searcher, seed); ok {
+			if resp, ok := s.shedFallback(w, cacheKey, workload, input, searcher, seed, devices, mp); ok {
 				return resp, nil
 			}
 			// No degraded answer available: shed honestly with
@@ -326,7 +367,7 @@ func (s *Server) stampStoreHeaders(w http.ResponseWriter, resp *EstimateResponse
 // when Config.DegradeOnShed allows — the platform's NaiveStatic
 // threshold. Both are marked "degraded":true, and the response header
 // lets the gateway count degraded answers without parsing bodies.
-func (s *Server) shedFallback(w http.ResponseWriter, cacheKey, workload, input string, searcher core.Searcher, seed uint64) (*EstimateResponse, bool) {
+func (s *Server) shedFallback(w http.ResponseWriter, cacheKey, workload, input string, searcher core.Searcher, seed uint64, devices int, mp *hetsim.MultiPlatform) (*EstimateResponse, bool) {
 	if !s.cfg.DegradeOnShed {
 		return nil, false
 	}
@@ -342,13 +383,20 @@ func (s *Server) shedFallback(w http.ResponseWriter, cacheKey, workload, input s
 	} else {
 		// NaiveStatic: the paper's static-split baseline — the
 		// platform's relative device speeds decide the split, no
-		// sampling at all. Crude, but O(1) and always available.
+		// sampling at all. Crude, but O(1) and always available. For a
+		// partition request the fallback is the FLOPS-ratio vector.
 		resp = EstimateResponse{
-			Workload:  workload,
-			Input:     input,
-			Searcher:  "naive-static(fallback)",
-			Seed:      seed,
-			Threshold: 100 * s.platform.StaticCPUShare(),
+			Workload: workload,
+			Input:    input,
+			Searcher: "naive-static(fallback)",
+			Seed:     seed,
+		}
+		if devices > 0 {
+			resp.Devices = devices
+			resp.Partition = s.naiveStaticPartition(devices, mp)
+			resp.NaiveStaticPartition = resp.Partition
+		} else {
+			resp.Threshold = 100 * s.platform.StaticCPUShare()
 		}
 	}
 	resp.Degraded = true
@@ -361,12 +409,15 @@ func (s *Server) shedFallback(w http.ResponseWriter, cacheKey, workload, input s
 // background run is bounded by MaxTimeout, coalesces with any
 // in-flight run for the same key, and passes through admission — so
 // revalidation never competes unboundedly with foreground traffic.
-func (s *Server) revalidate(cacheKey, workload, input string, body []byte, searcher core.Searcher, seed uint64, repeats int) {
+func (s *Server) revalidate(cacheKey, workload, input string, body []byte, searcher core.Searcher, seed uint64, repeats, devices int, mp *hetsim.MultiPlatform) {
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaxTimeout)
 		defer cancel()
 		_, err, _ := s.flight.Do(cacheKey, func() (any, error) {
 			s.metrics.CacheMiss()
+			if devices > 0 {
+				return s.runPartitionPipeline(ctx, cacheKey, workload, input, body, mp, devices, searcher, seed, repeats)
+			}
 			return s.runPipeline(ctx, cacheKey, workload, input, body, searcher, seed, repeats, nil)
 		})
 		if err != nil && !errors.Is(err, resilience.ErrOverloaded) {
@@ -407,6 +458,166 @@ func (s *Server) runPipeline(ctx context.Context, cacheKey, workload, input stri
 		return nil, err
 	}
 	return s.searchAndRespond(ctx, cacheKey, workload, input, cw, searcher, seed, repeats, storeMeta{}, store.Neighbor{})
+}
+
+// multiPlatform resolves the device inventory for an N-device
+// partition request. A configured inventory wins — then its device
+// count is the only one the server answers for — otherwise the default
+// CPU + (N-1) GPU cascade is built on demand (construction is a few
+// struct literals; the build cache keys workloads by the inventory's
+// signature, so equal inventories share builds).
+func (s *Server) multiPlatform(devices int) (*hetsim.MultiPlatform, error) {
+	if s.cfg.MultiPlatform != nil {
+		if n := s.cfg.MultiPlatform.Devices(); n != devices {
+			return nil, badRequest("devices=%d does not match the configured inventory (%d devices)", devices, n)
+		}
+		return s.cfg.MultiPlatform, nil
+	}
+	return hetsim.DefaultMulti(devices - 1), nil
+}
+
+// naiveStaticPartition is the FLOPS-ratio share vector for a partition
+// request — the NaiveStatic baseline generalized to N devices.
+func (s *Server) naiveStaticPartition(devices int, mp *hetsim.MultiPlatform) core.Partition {
+	if mp != nil {
+		return core.Partition(mp.StaticShares())
+	}
+	cpu := 100 * s.platform.StaticCPUShare()
+	return core.Partition{cpu, 100 - cpu}
+}
+
+// buildPartitionWorkload constructs the N-device partition workload.
+// Two devices reuse the scalar build (and its cache) behind the
+// core.AsPartition adapter — that path is bit-identical to the scalar
+// search; three or more build the multi-device workload over mp,
+// cached by inventory signature for datasets.
+func (s *Server) buildPartitionWorkload(ctx context.Context, workload, input string, body []byte, mp *hetsim.MultiPlatform, devices int) (core.SampledPartition, error) {
+	if devices == 2 {
+		cw, err := s.buildWorkload(ctx, workload, input, body)
+		if err != nil {
+			return nil, err
+		}
+		pw, ok := core.AsPartition(cw).(core.SampledPartition)
+		if !ok {
+			return nil, fmt.Errorf("workload %s does not support sampled partition estimation", cw.Name())
+		}
+		return pw, nil
+	}
+	_, span := obs.StartSpan(ctx, "workload.build")
+	defer span.Finish()
+	span.SetAttr("workload", workload)
+	span.SetAttr("input", input)
+	span.SetAttr("devices", strconv.Itoa(devices))
+	fail := func(err error) (core.SampledPartition, error) {
+		span.RecordError(err)
+		return nil, err
+	}
+	if body != nil {
+		coo, err := mmio.ReadLimited(bytes.NewReader(body), s.cfg.MaxUploadBytes)
+		if err != nil {
+			if errors.Is(err, mmio.ErrTooLarge) {
+				return fail(&httpError{code: http.StatusRequestEntityTooLarge, err: err})
+			}
+			return fail(badRequest("parsing upload: %v", err))
+		}
+		m, err := sparse.FromCOO(coo)
+		if err != nil {
+			return fail(badRequest("building matrix: %v", err))
+		}
+		pw, err := buildMultiFromMatrix(mp, workload, input, m)
+		if err != nil {
+			return fail(badRequest("%v", err))
+		}
+		s.metrics.BuildMiss()
+		span.SetAttr("cache", "bypass")
+		return pw, nil
+	}
+	pw, hit, err := s.builds.getPartition(multiBuildKey(mp, workload, input), func() (core.SampledPartition, error) {
+		return buildMultiFromDataset(mp, workload, input)
+	})
+	if err != nil {
+		return fail(badRequest("%v", err))
+	}
+	if hit {
+		s.metrics.BuildHit()
+		span.SetAttr("cache", "hit")
+	} else {
+		s.metrics.BuildMiss()
+		span.SetAttr("cache", "miss")
+	}
+	return pw, nil
+}
+
+// runPartitionPipeline executes Sample → Identify → Extrapolate over
+// the N-device simplex for one cache miss. The threshold store never
+// participates: its features-to-threshold transfer is scalar, and a
+// partition answer warm-started from a scalar neighbor would not be.
+// Admission is charged the simplex cost — the scalar search cost
+// scaled by the axis count and the expected descent rounds.
+func (s *Server) runPartitionPipeline(ctx context.Context, cacheKey, workload, input string, body []byte, mp *hetsim.MultiPlatform, devices int, searcher core.Searcher, seed uint64, repeats int) (*EstimateResponse, error) {
+	release, err := s.admit(ctx, partitionSearchCost(searcher, repeats, devices))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	if err := s.acquireWorker(ctx); err != nil {
+		return nil, err
+	}
+	defer s.pool.Release()
+
+	pw, err := s.buildPartitionWorkload(ctx, workload, input, body, mp, devices)
+	if err != nil {
+		return nil, err
+	}
+	ctx = core.WithEvalObserver(ctx, s.metrics)
+	est, err := core.EstimatePartition(ctx, pw, core.Config{
+		Searcher:    searcher,
+		Seed:        seed,
+		Repeats:     repeats,
+		Parallelism: s.cfg.Parallelism,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("estimating %s: %w", pw.Name(), err)
+	}
+	_, espan := obs.StartSpan(ctx, "evaluate")
+	s.metrics.EvalStarted()
+	runTime, err := pw.EvaluatePartition(est.Partition)
+	s.metrics.EvalDone()
+	if err != nil {
+		err = fmt.Errorf("evaluating %s at %s: %w", pw.Name(), est.Partition, err)
+		espan.RecordError(err)
+		espan.Finish()
+		return nil, err
+	}
+	espan.SetAttr("partition", est.Partition.String())
+	espan.SetAttr("simulated_run", runTime.String())
+	espan.Finish()
+
+	overhead := est.Overhead()
+	resp := EstimateResponse{
+		Workload:             workload,
+		Input:                input,
+		Searcher:             searcher.Name(),
+		Seed:                 seed,
+		Repeats:              est.Repeats,
+		Devices:              devices,
+		Partition:            est.Partition,
+		SamplePartition:      est.SamplePartition,
+		NaiveStaticPartition: s.naiveStaticPartition(devices, mp),
+		Evals:                est.Evals,
+		RunTimeNS:            int64(runTime),
+		RunTime:              runTime.String(),
+		SampleNS:             int64(est.SampleCost),
+		IdentifyNS:           int64(est.IdentifyCost),
+		OverheadNS:           int64(overhead),
+		Overhead:             overhead.String(),
+	}
+	if overhead+runTime > 0 {
+		resp.OverheadPct = 100 * float64(overhead) / float64(overhead+runTime)
+	}
+	s.cache.Put(cacheKey, cacheEntry{resp: resp, at: time.Now()})
+	return &resp, nil
 }
 
 // runStorePipeline is runPipeline with the threshold store in the

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"fmt"
+	"net/url"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hetsim"
+)
+
+// asPartition decodes the "partition" (or similar) field of a JSON
+// response into a core.Partition.
+func asPartition(t *testing.T, out map[string]any, field string) core.Partition {
+	t.Helper()
+	raw, ok := out[field].([]any)
+	if !ok {
+		t.Fatalf("%s = %v (%T), want array", field, out[field], out[field])
+	}
+	p := make(core.Partition, len(raw))
+	for i, v := range raw {
+		p[i] = v.(float64)
+	}
+	return p
+}
+
+// TestEstimatePartitionEndpoint — ?devices=3 returns a valid 3-share
+// partition plus the NaiveStatic baseline vector, and the answer is
+// cached under a devices-aware key.
+func TestEstimatePartitionEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{CacheSize: 8})
+	for _, workload := range []string{"cc", "spmm"} {
+		q := fmt.Sprintf("/estimate?workload=%s&dataset=cant&devices=3&repeats=1&seed=3", workload)
+		out := getJSON(t, ts.URL+q, 200)
+		if got := out["devices"].(float64); got != 3 {
+			t.Errorf("%s: devices = %v, want 3", workload, got)
+		}
+		p := asPartition(t, out, "partition")
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: partition %v invalid: %v", workload, p, err)
+		}
+		static := asPartition(t, out, "naive_static_partition")
+		if err := static.Validate(); err != nil {
+			t.Errorf("%s: naive static %v invalid: %v", workload, static, err)
+		}
+		if out["evals"].(float64) <= 0 {
+			t.Errorf("%s: no evals reported", workload)
+		}
+		// Same query again: cache hit, identical partition.
+		again := getJSON(t, ts.URL+q, 200)
+		if again["cached"] != true {
+			t.Errorf("%s: second request not cached", workload)
+		}
+		if got := asPartition(t, again, "partition"); got.String() != p.String() {
+			t.Errorf("%s: cached partition %v, want %v", workload, got, p)
+		}
+	}
+}
+
+// TestEstimatePartitionTwoDeviceParity — ?devices=2 runs the scalar
+// workload through the partition adapter and must agree exactly with
+// the scalar threshold answer: partition[0] == threshold, same evals.
+func TestEstimatePartitionTwoDeviceParity(t *testing.T) {
+	ts := newTestServer(t, Config{CacheSize: 8})
+	const base = "/estimate?workload=cc&dataset=qcd5_4&repeats=2&seed=11"
+	scalar := getJSON(t, ts.URL+base, 200)
+	vector := getJSON(t, ts.URL+base+"&devices=2", 200)
+	p := asPartition(t, vector, "partition")
+	if len(p) != 2 {
+		t.Fatalf("partition = %v, want 2 shares", p)
+	}
+	if p[0] != scalar["threshold"].(float64) {
+		t.Errorf("partition[0] = %v, want scalar threshold %v", p[0], scalar["threshold"])
+	}
+	if p[1] != 100-p[0] {
+		t.Errorf("partition = %v, shares do not sum to 100", p)
+	}
+	if vector["evals"].(float64) != scalar["evals"].(float64) {
+		t.Errorf("evals = %v, want scalar %v", vector["evals"], scalar["evals"])
+	}
+	if vector["run_time_simulated_ns"].(float64) != scalar["run_time_simulated_ns"].(float64) {
+		t.Errorf("run time %v, want scalar %v", vector["run_time_simulated_ns"], scalar["run_time_simulated_ns"])
+	}
+	// The scalar request must not have been served from the vector
+	// request's cache entry or vice versa (distinct keys).
+	if scalar["cached"] == true || vector["cached"] == true {
+		t.Error("scalar and vector requests shared a cache entry")
+	}
+}
+
+// TestEstimatePartitionUpload — POST bodies work with ?devices= too.
+func TestEstimatePartitionUpload(t *testing.T) {
+	ts := newTestServer(t, Config{CacheSize: 8})
+	mtx := genMTX(t, 600, 4000, 21)
+	out := postMTX(t, ts.URL+"/estimate?workload=spmm&devices=4&repeats=1", mtx, 200)
+	p := asPartition(t, out, "partition")
+	if len(p) != 4 {
+		t.Fatalf("partition = %v, want 4 shares", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("partition %v invalid: %v", p, err)
+	}
+}
+
+// TestEstimatePartitionRejections — malformed or unsupported ?devices=
+// values are structured 400s.
+func TestEstimatePartitionRejections(t *testing.T) {
+	ts := newTestServer(t, Config{CacheSize: 8})
+	for _, tc := range []struct {
+		q    string
+		want int
+	}{
+		{"workload=cc&dataset=cant&devices=1", 400},
+		{"workload=cc&dataset=cant&devices=9", 400},
+		{"workload=cc&dataset=cant&devices=x", 400},
+		{"workload=scalefree&dataset=cant&devices=3", 400},
+	} {
+		out := getJSON(t, ts.URL+"/estimate?"+tc.q, tc.want)
+		if out["error"] == nil {
+			t.Errorf("%s: no error body", tc.q)
+		}
+	}
+}
+
+// TestEstimatePartitionConfiguredInventory — a server configured with a
+// fixed multi-platform only answers for its own device count.
+func TestEstimatePartitionConfiguredInventory(t *testing.T) {
+	mp := hetsim.DefaultMulti(3) // 4 devices
+	ts := newTestServer(t, Config{CacheSize: 8, MultiPlatform: mp})
+	out := getJSON(t, ts.URL+"/estimate?workload=cc&dataset=cant&devices=4&repeats=1", 200)
+	if p := asPartition(t, out, "partition"); len(p) != 4 {
+		t.Errorf("partition = %v, want 4 shares", p)
+	}
+	static := asPartition(t, out, "naive_static_partition")
+	want := core.Partition(mp.StaticShares())
+	if static.String() != want.String() {
+		t.Errorf("naive static = %v, want the configured inventory's %v", static, want)
+	}
+	getJSON(t, ts.URL+"/estimate?workload=cc&dataset=cant&devices=3&repeats=1", 400)
+	// devices=2 bypasses the inventory (scalar adapter) and still works.
+	getJSON(t, ts.URL+"/estimate?workload=cc&dataset=cant&devices=2&repeats=1", 200)
+}
+
+// TestPartitionSearchCost — the admission estimate scales with the
+// axis count for N ≥ 3 and collapses to the scalar cost at N=2.
+func TestPartitionSearchCost(t *testing.T) {
+	s := core.CoarseToFine{}
+	scalar := searchCost(s, 3)
+	if got := partitionSearchCost(s, 3, 2); got != scalar {
+		t.Errorf("N=2 cost %d, want scalar %d", got, scalar)
+	}
+	three := partitionSearchCost(s, 3, 3)
+	if three != scalar*2*simplexCostRounds {
+		t.Errorf("N=3 cost %d, want %d", three, scalar*2*simplexCostRounds)
+	}
+	if four := partitionSearchCost(s, 3, 4); four <= three {
+		t.Errorf("N=4 cost %d not above N=3 cost %d", four, three)
+	}
+}
+
+// TestPartitionQueryCanonical sanity-checks that devices participates
+// in the URL query (the gateway's flight key canonicalizes the full
+// query, so two requests differing only in devices never coalesce).
+func TestPartitionQueryCanonical(t *testing.T) {
+	q1, _ := url.ParseQuery("workload=cc&dataset=cant&devices=3")
+	q2, _ := url.ParseQuery("workload=cc&dataset=cant")
+	if q1.Encode() == q2.Encode() {
+		t.Fatal("devices dropped from canonical query")
+	}
+}

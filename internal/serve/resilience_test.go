@@ -107,7 +107,7 @@ func TestShedFallbackPrefersCache(t *testing.T) {
 	s.cache.Put("k", cacheEntry{resp: want, at: time.Now().Add(-time.Second)})
 
 	rec := httptest.NewRecorder()
-	resp, ok := s.shedFallback(rec, "k", "spmm", "cant", nil, 42)
+	resp, ok := s.shedFallback(rec, "k", "spmm", "cant", nil, 42, 0, nil)
 	if !ok {
 		t.Fatal("shedFallback declined with a cache entry present")
 	}

@@ -55,6 +55,13 @@ type Config struct {
 	MaxTimeout time.Duration
 	// Platform is the simulated device pair; nil means hetsim.Default.
 	Platform *hetsim.Platform
+	// MultiPlatform is the device inventory for N-device partition
+	// requests (?devices=N with N ≥ 3). When set, its device count is
+	// the only N ≥ 3 the server answers for; when nil, a default CPU +
+	// (N-1) GPU cascade (hetsim.DefaultMulti) is built per request.
+	// Two-device partition requests always run on Platform through the
+	// scalar adapter, bit-identical to the scalar search.
+	MultiPlatform *hetsim.MultiPlatform
 	// Verbose enables per-request hetsim.Trace summaries via Logger.
 	Verbose bool
 	// Logger receives structured log records (request lines, pipeline

@@ -20,6 +20,11 @@ const (
 	WorkloadScaleFree = "scalefree"
 )
 
+// MaxEstimateDevices caps the ?devices= parameter: partition-vector
+// estimation cost grows with the simplex dimension, and the default
+// device inventories stop being meaningful beyond a handful of GPUs.
+const MaxEstimateDevices = 8
+
 // buildFromDataset constructs the named workload over a Table II
 // replica.
 func buildFromDataset(platform *hetsim.Platform, workload, dataset string) (core.Sampled, error) {
@@ -69,6 +74,51 @@ func buildFromMatrix(platform *hetsim.Platform, workload, name string, m *sparse
 	default:
 		return nil, fmt.Errorf("unknown workload %q (want %s, %s or %s)",
 			workload, WorkloadCC, WorkloadSpMM, WorkloadScaleFree)
+	}
+}
+
+// buildMultiFromDataset constructs the N-device partition workload
+// over a Table II replica. Only cc and spmm generalize to partition
+// vectors; the scale-free study is inherently two-device.
+func buildMultiFromDataset(mp *hetsim.MultiPlatform, workload, dataset string) (core.SampledPartition, error) {
+	d, err := datasets.ByName(dataset)
+	if err != nil {
+		return nil, err
+	}
+	switch workload {
+	case WorkloadCC:
+		g, err := d.Graph()
+		if err != nil {
+			return nil, err
+		}
+		return hetcc.NewMultiWorkload(d.Name, g, hetcc.NewMultiAlgorithm(mp)), nil
+	case WorkloadSpMM:
+		m, err := d.Matrix()
+		if err != nil {
+			return nil, err
+		}
+		return hetspmm.NewMultiWorkload(d.Name, m, hetspmm.NewMultiAlgorithm(mp))
+	default:
+		return nil, fmt.Errorf("workload %q does not support partition vectors (want %s or %s)",
+			workload, WorkloadCC, WorkloadSpMM)
+	}
+}
+
+// buildMultiFromMatrix constructs the N-device partition workload over
+// an uploaded matrix.
+func buildMultiFromMatrix(mp *hetsim.MultiPlatform, workload, name string, m *sparse.CSR) (core.SampledPartition, error) {
+	switch workload {
+	case WorkloadCC:
+		g, err := graph.FromCSR(m)
+		if err != nil {
+			return nil, err
+		}
+		return hetcc.NewMultiWorkload(name, g, hetcc.NewMultiAlgorithm(mp)), nil
+	case WorkloadSpMM:
+		return hetspmm.NewMultiWorkload(name, m, hetspmm.NewMultiAlgorithm(mp))
+	default:
+		return nil, fmt.Errorf("workload %q does not support partition vectors (want %s or %s)",
+			workload, WorkloadCC, WorkloadSpMM)
 	}
 }
 
